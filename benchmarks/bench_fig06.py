@@ -1,0 +1,41 @@
+"""Benchmark: Figure 6 — decoupling necessity (SHJ/SNJ input-rate collapse).
+
+Regenerates the Fig. 6 series on the simulator and asserts the paper's
+shape: the SNJ collapses long before the SHJ.
+"""
+
+import pytest
+
+from repro.sim.joins import JoinExperimentConfig, run_di_join
+
+
+@pytest.mark.parametrize("kind", ["snj", "shj"])
+def test_fig6_join_run(benchmark, kind, quick_scale):
+    elements = round(180_000 * quick_scale)
+
+    def run():
+        return run_di_join(
+            JoinExperimentConfig(kind=kind, elements_per_source=elements)
+        )
+
+    result = benchmark(run)
+    assert result.results.count >= 0
+    assert len(result.arrivals_ns) == 2 * elements
+
+
+def test_fig6_shape_snj_collapses_first(benchmark):
+    """The headline Fig. 6 claim, as a benchmarked assertion."""
+
+    def run():
+        snj = run_di_join(
+            JoinExperimentConfig(kind="snj", elements_per_source=30_000)
+        )
+        shj = run_di_join(
+            JoinExperimentConfig(kind="shj", elements_per_source=30_000)
+        )
+        return snj, shj
+
+    snj, shj = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert snj.collapse_time_s() is not None  # SNJ collapses by ~17-20 s
+    assert shj.collapse_time_s() is None  # SHJ holds past 30 s (paper: 58 s)
+    assert snj.finished_ns > shj.finished_ns

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 7 — GTS vs OTS vs DI runtime on the 5-selection query.
+
+One benchmark per execution mode (so the benchmark table itself shows
+the paper's ordering), plus a shape assertion.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig07_gts_ots_di import (
+    SOURCE_RATE,
+    make_operators,
+)
+from repro.sim.pipeline import PipelineConfig, SourceSpec, run_pipeline
+
+M = 50_000
+
+
+def _run(mode):
+    config = PipelineConfig(
+        operators=make_operators(),
+        source=SourceSpec.constant(M, SOURCE_RATE),
+        mode=mode,
+        strategy="chain",
+        n_cores=2,
+    )
+    return run_pipeline(config)
+
+
+@pytest.mark.parametrize("mode", ["di", "ots", "gts"])
+def test_fig7_mode(benchmark, mode):
+    result = benchmark(_run, mode)
+    assert result.results.count > 0
+
+
+def test_fig7_shape(benchmark):
+    """GTS > OTS > DI, DI roughly 40% faster than OTS."""
+
+    def run():
+        return {mode: _run(mode).runtime_ns for mode in ("di", "ots", "gts")}
+
+    runtimes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert runtimes["di"] < runtimes["ots"] < runtimes["gts"]
+    assert 1.15 <= runtimes["ots"] / runtimes["di"] <= 1.7

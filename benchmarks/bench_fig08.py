@@ -1,0 +1,47 @@
+"""Benchmark: Figure 8 — OTS vs DI while varying the number of queries."""
+
+import pytest
+
+from repro.bench.experiments.fig07_gts_ots_di import (
+    SOURCE_RATE,
+    make_operators,
+)
+from repro.sim.pipeline import PipelineConfig, SourceSpec, run_pipeline
+
+M = 10_000
+
+
+def _run(mode, n_queries):
+    config = PipelineConfig(
+        operators=make_operators(),
+        source=SourceSpec.constant(M, SOURCE_RATE),
+        mode=mode,
+        n_queries=n_queries,
+        n_cores=2,
+    )
+    return run_pipeline(config)
+
+
+@pytest.mark.parametrize("n_queries", [1, 50, 200])
+@pytest.mark.parametrize("mode", ["di", "ots"])
+def test_fig8_queries(benchmark, mode, n_queries):
+    result = benchmark.pedantic(
+        _run, args=(mode, n_queries), rounds=1, iterations=1
+    )
+    assert result.results.count > 0
+
+
+def test_fig8_shape_gap_widens(benchmark):
+    """DI's advantage over OTS grows with the number of queries."""
+
+    def run():
+        gaps = {}
+        for q in (1, 100):
+            di = _run("di", q).runtime_ns
+            ots = _run("ots", q).runtime_ns
+            gaps[q] = (ots - di, ots / di)
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps[100][0] > gaps[1][0]  # absolute gap widens
+    assert gaps[100][1] > gaps[1][1]  # relative gap widens

@@ -1,0 +1,87 @@
+"""Benchmark: Figures 9/10 — HMTS vs GTS with an expensive operator.
+
+Runs the Section 6.6 experiment at 10x time compression and asserts
+every qualitative claim of both figures.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig09_10_hmts_vs_gts import run as run_fig910
+
+SCALE = 0.1
+SECOND = 1_000_000_000
+
+
+@pytest.fixture(scope="module")
+def fig910_result():
+    return run_fig910(scale=SCALE)
+
+
+def test_fig9_10_full_run(benchmark):
+    result = benchmark.pedantic(
+        run_fig910, kwargs={"scale": 0.05}, rounds=1, iterations=1
+    )
+    assert set(result.runs) == {"gts-fifo", "gts-chain", "hmts"}
+
+
+class TestShapes:
+    def test_all_settings_agree_on_results(self, fig910_result):
+        counts = {
+            name: run.results.count for name, run in fig910_result.runs.items()
+        }
+        assert len(set(counts.values())) == 1
+        assert counts["hmts"] > 0
+
+    def test_hmts_finishes_about_100s_sooner(self, fig910_result):
+        finish = fig910_result.finish_times_s()
+        assert finish["hmts"] < finish["gts-fifo"] - 50
+        assert finish["hmts"] < finish["gts-chain"] - 50
+        # Paper: HMTS ~162 s, GTS ~260 s.
+        assert 150 <= finish["hmts"] <= 190
+        assert 230 <= finish["gts-fifo"] <= 280
+
+    def test_burst_fills_queues_at_start(self, fig910_result):
+        """All curves start with the 10k-element burst buffered.
+
+        The sampler and the workers race over the burst, so the
+        observed early peak can sit slightly below the full 10k.
+        """
+        for run in fig910_result.runs.values():
+            early_peak = max(
+                value
+                for time_ns, value in run.memory.points()
+                if time_ns <= 15 * SECOND * SCALE
+            )
+            assert early_peak >= 8_500
+
+    def test_chain_memory_below_fifo(self, fig910_result):
+        fifo = fig910_result.runs["gts-fifo"].memory
+        chain = fig910_result.runs["gts-chain"].memory
+        horizon = min(fifo.times[-1], chain.times[-1])
+        step = max(1, horizon // 50)
+        fifo_avg = sum(fifo.value_at(t) for t in range(0, horizon, step))
+        chain_avg = sum(chain.value_at(t) for t in range(0, horizon, step))
+        assert chain_avg < fifo_avg
+
+    def test_hmts_memory_at_or_below_chain(self, fig910_result):
+        chain = fig910_result.runs["gts-chain"].memory
+        hmts = fig910_result.runs["hmts"].memory
+        assert hmts.max_value() <= chain.max_value()
+
+    def test_hmts_produces_results_earlier(self, fig910_result):
+        """Fig. 10: at mid-experiment HMTS leads both GTS strategies."""
+        t = fig910_result.runs["hmts"].runtime_ns // 2
+        hmts = fig910_result.runs["hmts"].results.series.value_at(t)
+        fifo = fig910_result.runs["gts-fifo"].results.series.value_at(t)
+        chain = fig910_result.runs["gts-chain"].results.series.value_at(t)
+        assert hmts > fifo
+        assert hmts > chain
+
+    def test_fifo_results_earlier_than_chain(self, fig910_result):
+        """Fig. 10: FIFO produces results continuously and earlier."""
+        fifo_run = fig910_result.runs["gts-fifo"]
+        chain_run = fig910_result.runs["gts-chain"]
+        t = fifo_run.runtime_ns // 3
+        assert fifo_run.results.series.value_at(
+            t
+        ) >= chain_run.results.series.value_at(t)

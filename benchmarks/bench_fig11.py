@@ -1,0 +1,53 @@
+"""Benchmark: Figure 11 — VO-construction algorithm comparison.
+
+Benchmarks the three partitioning algorithms on random DAGs and
+asserts the paper's shape: the stall-avoiding Algorithm 1 produces the
+fewest VOs and the least negative average capacity.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig11_vo_construction import ALGORITHMS, run
+from repro.graph.random_dags import RandomDagConfig, random_query_dag
+
+
+@pytest.fixture(scope="module")
+def dag_200():
+    return random_query_dag(RandomDagConfig(n_operators=200, seed=42))
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig11_partitioning_speed(benchmark, algorithm, dag_200):
+    """Per-algorithm partitioning cost on a 200-operator DAG."""
+    result = benchmark(ALGORITHMS[algorithm], dag_200)
+    assert len(result.partitioning) > 0
+
+
+def test_fig11_partitioning_1000_nodes(benchmark):
+    """Algorithm 1 at the paper's largest graph size."""
+    graph = random_query_dag(RandomDagConfig(n_operators=1000, seed=7))
+    result = benchmark(ALGORITHMS["stall-avoiding"], graph)
+    assert len(result.partitioning) > 0
+
+
+def test_fig11_shape(benchmark):
+    """Algorithm 1 dominates on negative capacity and VO count."""
+
+    def sweep():
+        return run(sizes=[50, 200], graphs_per_size=4)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ours = result.mean_negative_over_all("stall-avoiding")
+    segment = result.mean_negative_over_all("segment")
+    chain = result.mean_negative_over_all("chain")
+    assert ours > segment  # closer to zero (capacities are negative)
+    assert ours > chain
+    for size in result.sizes:
+        assert (
+            result.stats["stall-avoiding"][size].vo_count
+            <= result.stats["segment"][size].vo_count
+        )
+        assert (
+            result.stats["stall-avoiding"][size].vo_count
+            <= result.stats["chain"][size].vo_count
+        )

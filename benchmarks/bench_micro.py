@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the substrate itself.
+
+Not a paper figure — these measure the Python implementation's own
+hot paths (operator kernels, DI dispatch, queue operations, the
+simulator's event loop) so regressions in the substrate are visible
+independently of the experiment-level numbers.
+"""
+
+import pytest
+
+from repro.core.dataflow import Dispatcher
+from repro.graph.builder import QueryBuilder
+from repro.operators.joins import SymmetricHashJoin, SymmetricNestedLoopsJoin
+from repro.operators.queue_op import QueueOperator
+from repro.operators.selection import SimulatedSelection
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.requests import Compute, Pop, Push
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ListSource
+
+N = 10_000
+
+
+def test_selection_kernel_throughput(benchmark):
+    op = SimulatedSelection(0.5)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        op.reset()
+        total = 0
+        for element in elements:
+            total += len(op.process(element))
+        return total
+
+    assert benchmark(run) == N // 2
+
+
+def test_hash_join_kernel_throughput(benchmark):
+    # (i // 2) % 100 so consecutive elements on opposite ports share keys.
+    elements = [StreamElement(value=(i // 2) % 100, timestamp=i) for i in range(N)]
+
+    def run():
+        join = SymmetricHashJoin(window_ns=1_000)
+        total = 0
+        for index, element in enumerate(elements):
+            total += len(join.process(element, index % 2))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_nested_loops_join_kernel_throughput(benchmark):
+    elements = [
+        StreamElement(value=(i // 2) % 100, timestamp=i) for i in range(2_000)
+    ]
+
+    def run():
+        join = SymmetricNestedLoopsJoin(window_ns=1_000)
+        total = 0
+        for index, element in enumerate(elements):
+            total += len(join.process(element, index % 2))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_di_dispatch_throughput(benchmark):
+    """Full DI chain reaction through 5 selections."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for selectivity in (0.998, 0.996, 0.994, 0.992, 0.990):
+        stream = stream.where_fraction(selectivity)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    dispatcher = Dispatcher(graph)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        for element in elements:
+            dispatcher.inject(first, element)
+        return dispatcher.sink_deliveries
+
+    assert benchmark(run) > 0
+
+
+def test_queue_operator_roundtrip(benchmark):
+    queue = QueueOperator()
+    elements = [StreamElement(value=i) for i in range(N)]
+
+    def run():
+        for element in elements:
+            queue.push(element)
+        drained = 0
+        while queue.try_pop() is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(run) == N
+
+
+def test_simulator_event_loop_throughput(benchmark):
+    """Producer/consumer ping-pong: ~4 events per element."""
+    model = CostModel(per_thread_switch_ns=0.0)
+
+    def run():
+        machine = Machine(n_cores=2, cost_model=model)
+        q = machine.new_queue()
+
+        def producer():
+            for i in range(5_000):
+                yield Compute(100)
+                yield Push(q, i)
+            yield Push(q, None)
+
+        def consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+                yield Compute(100)
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        return machine.run()
+
+    assert benchmark(run) > 0

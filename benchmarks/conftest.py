@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks wrap the Figure 6-11 experiment harness at reduced
+scale so the full suite completes in minutes; the shapes (orderings,
+ratios) are scale-invariant.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each figure's full-scale reproduction is available through the CLI:
+``python -m repro.bench <figN> --full``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    """Scale factor applied to the paper's element counts."""
+    return 0.05

@@ -1,0 +1,102 @@
+"""Virtual operators under pull- and push-based processing (Section 3).
+
+The paper builds VOs in both paradigms and argues the push-based form
+is strictly more general.  This example shows both on the same kernels:
+
+1. a *pull* VO over a selection chain — queues replaced by proxies,
+   only the root is polled (Fig. 2),
+2. the equivalent *push* VO executed by direct interoperability,
+3. the case that separates them: a shared subquery (Fig. 1/5 shape)
+   that the push VO handles naturally and the pull VO must reject
+   (Section 3.4).
+
+Run with::
+
+    python examples/pull_vs_push.py
+"""
+
+from repro import CollectingSink, ListSource, QueryBuilder
+from repro.core import Dispatcher, VirtualOperator
+from repro.errors import VirtualOperatorError
+from repro.operators.queue_op import QueueOperator
+from repro.pull import OncQueueReader, build_pull_vo, drain
+from repro.streams.elements import END_OF_STREAM, StreamElement
+
+VALUES = list(range(1_000))
+
+
+def build_chain():
+    """source -> sel(even) -> sel(>500) -> sink, no queues."""
+    build = QueryBuilder("chain")
+    sink = CollectingSink()
+    stream = build.source(ListSource(VALUES))
+    first = stream.where(lambda v: v % 2 == 0, name="even")
+    second = first.where(lambda v: v > 500, name="big")
+    second.into(sink)
+    return build.graph(), first.node, second.node, sink
+
+
+def main() -> None:
+    # --- 1. Pull VO: proxies + a single polled root -------------------
+    graph, first, second, _ = build_chain()
+    feed_queue = QueueOperator("input")
+    for value in VALUES:
+        feed_queue.push(StreamElement(value=value, timestamp=value))
+    feed_queue.push(END_OF_STREAM)
+    entry_edge = graph.in_edges(first)[0]
+    root = build_pull_vo(
+        graph, [first, second], {entry_edge: OncQueueReader(feed_queue)}
+    )
+    pulled = [element.value for element in drain(root)]
+    print(f"pull VO  : {len(pulled)} results, first={pulled[0]}, "
+          f"last={pulled[-1]}")
+
+    # --- 2. Push VO: the same two selections via DI --------------------
+    graph2, first2, second2, sink2 = build_chain()
+    vo = VirtualOperator(graph2, [first2, second2], name="selection-vo")
+    dispatcher = Dispatcher(graph2)
+    source_node = graph2.sources()[0]
+    for element in source_node.payload:
+        for edge in graph2.out_edges(source_node):
+            dispatcher.inject(edge.consumer, element, edge.port)
+    pushed = [element.value for element in sink2.elements]
+    print(f"push VO  : {len(pushed)} results "
+          f"(capacity view: arity={vo.arity}, exits={len(vo.exit_edges)})")
+    assert pulled == pushed, "both paradigms compute the same answer"
+    print("pull and push VOs agree element-for-element")
+
+    # --- 3. The separating case: subquery sharing ----------------------
+    build = QueryBuilder("shared")
+    shared = build.source(ListSource(VALUES)).where(
+        lambda v: v % 3 == 0, name="shared-filter"
+    )
+    sink_a, sink_b = CollectingSink("a"), CollectingSink("b")
+    branch_a = shared.map(lambda v: v * 2, name="double")
+    branch_b = shared.map(lambda v: -v, name="negate")
+    branch_a.into(sink_a)
+    branch_b.into(sink_b)
+    graph3 = build.graph()
+    members = [shared.node, branch_a.node, branch_b.node]
+
+    # Push handles the diamond naturally...
+    VirtualOperator(graph3, members, name="shared-vo")
+    dispatcher3 = Dispatcher(graph3)
+    source3 = graph3.sources()[0]
+    for element in source3.payload:
+        for edge in graph3.out_edges(source3):
+            dispatcher3.inject(edge.consumer, element, edge.port)
+    print(f"\nshared subquery under push: both branches fed "
+          f"({len(sink_a.elements)} / {len(sink_b.elements)} results)")
+
+    # ... while the pull VO must reject it (Section 3.4).
+    entry3 = graph3.in_edges(shared.node)[0]
+    try:
+        build_pull_vo(graph3, members, {entry3: OncQueueReader(QueueOperator())})
+    except VirtualOperatorError as error:
+        print(f"shared subquery under pull: rejected as expected\n  -> {error}")
+    else:
+        raise AssertionError("pull VO should reject shared subqueries")
+
+
+if __name__ == "__main__":
+    main()

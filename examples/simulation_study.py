@@ -1,0 +1,105 @@
+"""Scheduling-architecture study on the discrete-event simulator.
+
+The paper's performance claims are about *multicore timing*, which the
+GIL hides from real-thread Python runs.  This example uses the
+simulator substrate directly: the same query under DI, OTS, GTS (FIFO
+and Chain) and two HMTS groupings, on simulated 1-, 2- and 4-core
+machines, reporting runtime, result latency and peak queue memory.
+
+It also shows the simulator's programming model for custom studies —
+the kind of "what if" exploration the HMTS architecture is built for.
+
+Run with::
+
+    python examples/simulation_study.py
+"""
+
+from repro.bench.harness import format_table
+from repro.sim import (
+    OperatorSpec,
+    PipelineConfig,
+    SourcePhase,
+    SourceSpec,
+    run_pipeline,
+)
+
+SECOND = 1_000_000_000
+
+# A mixed query: cheap screen, medium transform, heavy analytic tail —
+# the "both cases simultaneously occur" motivation of Section 4.2.1.
+OPERATORS = [
+    OperatorSpec(cost_ns=400.0, selectivity=0.6, name="screen"),
+    OperatorSpec(cost_ns=2_000.0, selectivity=0.9, name="transform"),
+    OperatorSpec(cost_ns=1_500.0, selectivity=0.5, name="enrich"),
+    OperatorSpec(
+        cost_ns=250_000.0, selectivity=0.2, atomic_step=8, name="analytic"
+    ),
+]
+
+SOURCE = SourceSpec(
+    phases=(
+        SourcePhase(30_000, 400_000.0),  # burst
+        SourcePhase(30_000, 20_000.0),  # steady load
+    )
+)
+
+SETTINGS = [
+    ("DI", "di", "fifo", None),
+    ("OTS", "ots", "fifo", None),
+    ("GTS/FIFO", "gts", "fifo", None),
+    ("GTS/Chain", "gts", "chain", None),
+    ("HMTS {screen+transform+enrich | analytic}", "hmts", "fifo", [[0, 1, 2], [3]]),
+    ("HMTS {screen | transform+enrich | analytic}", "hmts", "fifo", [[0], [1, 2], [3]]),
+]
+
+
+def main() -> None:
+    for cores in (1, 2, 4):
+        rows = []
+        for label, mode, strategy, groups in SETTINGS:
+            config = PipelineConfig(
+                operators=OPERATORS,
+                source=SOURCE,
+                mode=mode,
+                strategy=strategy,
+                groups=groups,
+                n_queries=1,
+                n_cores=cores,
+                sample_interval_ns=SECOND // 100,
+            )
+            result = run_pipeline(config)
+            rows.append(
+                [
+                    label,
+                    f"{result.runtime_s:.2f}",
+                    result.results.count,
+                    f"{result.memory.max_value():,.0f}",
+                    f"{result.machine.utilization():.0%}",
+                    result.machine.context_switches,
+                ]
+            )
+        print(f"\n=== {cores} core(s) ===")
+        print(
+            format_table(
+                [
+                    "setting",
+                    "runtime [s]",
+                    "results",
+                    "peak queued",
+                    "cpu util",
+                    "switches",
+                ],
+                rows,
+            )
+        )
+    print(
+        "\nReading guide: on 1 core DI wins outright (no queue overhead,"
+        "\nnothing to parallelize); with more cores the HMTS groupings"
+        "\novertake it by running the heavy analytic stage concurrently"
+        "\nwith the cheap chain, while full OTS pays a queue crossing at"
+        "\nevery operator boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

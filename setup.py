@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy
+setup.py code path through this file; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

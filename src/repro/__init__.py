@@ -1,0 +1,166 @@
+"""repro: a reproduction of "Flexible Multi-Threaded Scheduling for
+Continuous Queries over Data Streams" (Cammert et al., ICDE 2007).
+
+The package provides:
+
+* a push-based stream-processing substrate with direct interoperability
+  (:mod:`repro.streams`, :mod:`repro.operators`, :mod:`repro.graph`),
+* the pull-based open-next-close substrate with proxies for comparison
+  (:mod:`repro.pull`),
+* the paper's contribution — virtual operators, the capacity model,
+  stall-avoiding queue placement, and the three-level HMTS scheduling
+  architecture with GTS/OTS as special cases (:mod:`repro.core`),
+* a deterministic discrete-event simulator of a multicore machine used
+  as the performance substrate for the paper's experiments
+  (:mod:`repro.sim`),
+* the experiment harness reproducing Figures 6-11 (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import QueryBuilder, ConstantRateSource, CollectingSink
+    from repro import gts_config, ThreadedEngine
+
+    build = QueryBuilder("demo")
+    sink = CollectingSink()
+    (build.source(ConstantRateSource(1000, 10_000.0))
+          .where(lambda v: v % 7 == 0)
+          .map(lambda v: v * 2)
+          .into(sink))
+    graph = build.graph()
+    graph.decouple_all()
+    ThreadedEngine(graph, gts_config(graph)).run()
+    print(len(sink.elements), "results")
+"""
+
+from repro.core import (
+    CapacityAggregate,
+    ChainStrategy,
+    Dispatcher,
+    EngineConfig,
+    EngineReport,
+    FifoStrategy,
+    Partition,
+    Partitioning,
+    PartitionSpec,
+    PlacementResult,
+    RoundRobinStrategy,
+    SchedulingMode,
+    SchedulingStrategy,
+    ThreadedEngine,
+    ThreadScheduler,
+    VirtualOperator,
+    build_virtual_operators,
+    chain_partitioning,
+    di_config,
+    gts_config,
+    hmts_config,
+    ots_config,
+    segment_partitioning,
+    stall_avoiding_partitioning,
+)
+from repro.errors import ReproError
+from repro.graph import (
+    Edge,
+    Node,
+    NodeKind,
+    QueryBuilder,
+    QueryGraph,
+    RandomDagConfig,
+    derive_rates,
+    random_query_dag,
+)
+from repro.operators import (
+    CostedOperator,
+    MapOperator,
+    Operator,
+    Projection,
+    QueueOperator,
+    Selection,
+    SimulatedSelection,
+    SymmetricHashJoin,
+    SymmetricNestedLoopsJoin,
+    Union,
+    WindowedAggregate,
+)
+from repro.streams import (
+    BurstPhase,
+    BurstySource,
+    CollectingSink,
+    ConstantRateSource,
+    CountingSink,
+    LatencySink,
+    ListSource,
+    PoissonSource,
+    Sink,
+    Source,
+    StreamElement,
+    TimestampedCountSink,
+    uniform_int_values,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # graph
+    "Edge",
+    "Node",
+    "NodeKind",
+    "QueryBuilder",
+    "QueryGraph",
+    "RandomDagConfig",
+    "derive_rates",
+    "random_query_dag",
+    # streams
+    "BurstPhase",
+    "BurstySource",
+    "CollectingSink",
+    "ConstantRateSource",
+    "CountingSink",
+    "LatencySink",
+    "ListSource",
+    "PoissonSource",
+    "Sink",
+    "Source",
+    "StreamElement",
+    "TimestampedCountSink",
+    "uniform_int_values",
+    # operators
+    "CostedOperator",
+    "MapOperator",
+    "Operator",
+    "Projection",
+    "QueueOperator",
+    "Selection",
+    "SimulatedSelection",
+    "SymmetricHashJoin",
+    "SymmetricNestedLoopsJoin",
+    "Union",
+    "WindowedAggregate",
+    # core
+    "CapacityAggregate",
+    "ChainStrategy",
+    "Dispatcher",
+    "EngineConfig",
+    "EngineReport",
+    "FifoStrategy",
+    "Partition",
+    "Partitioning",
+    "PartitionSpec",
+    "PlacementResult",
+    "RoundRobinStrategy",
+    "SchedulingMode",
+    "SchedulingStrategy",
+    "ThreadedEngine",
+    "ThreadScheduler",
+    "VirtualOperator",
+    "build_virtual_operators",
+    "chain_partitioning",
+    "di_config",
+    "gts_config",
+    "hmts_config",
+    "ots_config",
+    "segment_partitioning",
+    "stall_avoiding_partitioning",
+]

@@ -1,0 +1,5 @@
+"""Experiment harness reproducing the paper's Figures 6-11."""
+
+from repro.bench.harness import ascii_chart, format_series_table, format_table
+
+__all__ = ["ascii_chart", "format_series_table", "format_table"]

@@ -1,0 +1,124 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench all                 # every figure, quick scale
+    python -m repro.bench fig6 fig9 --full    # selected figures, paper scale
+    python -m repro.bench ablations           # the extra ablation sweeps
+    repro-bench fig11 --scale 0.5             # arbitrary scale
+
+"Quick" scale shrinks element counts so every figure finishes in
+seconds; ``--full`` uses the paper's parameters (Fig. 6 then simulates
+180 s of stream time, Figs. 9/10 about 260 s — still only tens of
+wall-clock seconds thanks to the discrete-event substrate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (
+    ablations,
+    fig06_decoupling,
+    fig07_gts_ots_di,
+    fig08_ots_scalability,
+    fig09_10_hmts_vs_gts,
+    fig11_vo_construction,
+)
+
+#: Quick-mode scales chosen so each experiment runs in a few seconds.
+QUICK_SCALE = {
+    "fig6": 0.2,
+    "fig7": 0.2,
+    "fig8": 0.1,
+    "fig9": 0.1,
+    "fig10": 0.1,
+    "fig11": 0.2,
+    "ablations": 0.2,
+}
+
+EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations")
+
+
+def _run_one(name: str, scale: float) -> str:
+    if name == "fig6":
+        return fig06_decoupling.report(fig06_decoupling.run(scale))
+    if name == "fig7":
+        return fig07_gts_ots_di.report(fig07_gts_ots_di.run(scale))
+    if name == "fig8":
+        return fig08_ots_scalability.report(fig08_ots_scalability.run(scale))
+    if name in ("fig9", "fig10"):
+        return fig09_10_hmts_vs_gts.report(fig09_10_hmts_vs_gts.run(scale))
+    if name == "fig11":
+        return fig11_vo_construction.report(fig11_vo_construction.run(scale))
+    if name == "ablations":
+        reports = [
+            ablations.report(ablations.quantum_ablation(scale)),
+            ablations.report(ablations.switch_cost_ablation(scale)),
+            ablations.report(ablations.queue_cost_ablation(scale)),
+            ablations.report(ablations.vo_depth_ablation(scale)),
+            ablations.report(ablations.strategy_ablation(min(scale, 0.1))),
+            ablations.report(ablations.latency_ablation(scale)),
+        ]
+        return "\n\n".join(reports)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the paper's Figures 6-11 on the simulator.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full parameters instead of quick mode",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="explicit scale factor (overrides quick/full)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    # fig9 and fig10 share one run; drop the duplicate.
+    if "fig9" in names and "fig10" in names:
+        names.remove("fig10")
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; choose from {EXPERIMENTS}"
+            )
+
+    for name in names:
+        if args.scale is not None:
+            scale = args.scale
+        elif args.full:
+            scale = 1.0
+        else:
+            scale = QUICK_SCALE[name]
+        started = time.perf_counter()
+        output = _run_one(name, scale)
+        elapsed = time.perf_counter() - started
+        banner = f"=== {name} (scale={scale:g}, {elapsed:.1f}s wall) ==="
+        print(banner)
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Experiment modules, one per paper figure plus ablations."""
+
+from repro.bench.experiments import (
+    ablations,
+    fig06_decoupling,
+    fig07_gts_ots_di,
+    fig08_ots_scalability,
+    fig09_10_hmts_vs_gts,
+    fig11_vo_construction,
+)
+
+__all__ = [
+    "ablations",
+    "fig06_decoupling",
+    "fig07_gts_ots_di",
+    "fig08_ots_scalability",
+    "fig09_10_hmts_vs_gts",
+    "fig11_vo_construction",
+]

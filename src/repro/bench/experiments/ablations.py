@@ -1,0 +1,280 @@
+"""Ablation studies beyond the paper's figures.
+
+These probe the design choices DESIGN.md calls out:
+
+* :func:`quantum_ablation` — how the OS preemption quantum affects GTS
+  vs OTS runtimes (sensitivity of Fig. 7's ordering).
+* :func:`switch_cost_ablation` — how the per-thread context-switch
+  penalty bends the OTS curve of Fig. 8.
+* :func:`queue_cost_ablation` — how queue-synchronization cost moves
+  the DI-vs-OTS gap (the Section 3.1 premise: when queue operations
+  are cheaper than operators, VOs stop paying off).
+* :func:`vo_depth_ablation` — throughput of one chain as a function of
+  how many decoupling queues cut it (DI ... OTS spectrum): the direct
+  measurement of the enqueue/dequeue overhead a VO removes.
+* :func:`strategy_ablation` — the Fig. 9 workload under five level-2
+  strategies (FIFO, Chain, RoundRobin, LongestQueueFirst, Greedy):
+  memory and completion-time profiles of each.
+* :func:`latency_ablation` — result latency (emission to output) of
+  the Fig. 7 query under each architecture: queueing delay is where
+  GTS pays for its single thread even when throughput suffices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.harness import format_table
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.pipeline import PipelineConfig, SourceSpec, run_pipeline
+
+from repro.bench.experiments.fig07_gts_ots_di import (
+    SOURCE_RATE,
+    make_operators,
+)
+
+__all__ = [
+    "AblationResult",
+    "quantum_ablation",
+    "switch_cost_ablation",
+    "queue_cost_ablation",
+    "vo_depth_ablation",
+    "strategy_ablation",
+    "latency_ablation",
+    "report",
+]
+
+
+@dataclass
+class AblationResult:
+    """A generic ablation sweep: one row per parameter value."""
+
+    name: str
+    parameter: str
+    headers: List[str]
+    rows: List[List[object]]
+    conclusion: str
+
+
+def _runtime(mode: str, m: int, cost_model: CostModel, **kwargs) -> float:
+    config = PipelineConfig(
+        operators=make_operators(),
+        source=SourceSpec.constant(m, SOURCE_RATE),
+        mode=mode,
+        strategy="chain",
+        n_cores=2,
+        cost_model=cost_model,
+        **kwargs,
+    )
+    return run_pipeline(config).runtime_s
+
+
+def quantum_ablation(scale: float = 1.0) -> AblationResult:
+    """Sweep the preemption quantum; report GTS/OTS/DI runtimes."""
+    m = max(2_000, round(100_000 * scale))
+    rows = []
+    for quantum_ms in (1, 5, 10, 50):
+        model = DEFAULT_COST_MODEL.with_quantum(quantum_ms * 1_000_000)
+        di = _runtime("di", m, model)
+        ots = _runtime("ots", m, model)
+        gts = _runtime("gts", m, model)
+        rows.append(
+            [quantum_ms, f"{gts:.2f}", f"{ots:.2f}", f"{di:.2f}"]
+        )
+    return AblationResult(
+        name="quantum",
+        parameter="preemption quantum [ms]",
+        headers=["quantum [ms]", "GTS [s]", "OTS [s]", "DI [s]"],
+        rows=rows,
+        conclusion=(
+            "the GTS > OTS > DI ordering is insensitive to the quantum; "
+            "the gaps come from queue costs, not slicing artifacts"
+        ),
+    )
+
+
+def switch_cost_ablation(scale: float = 1.0) -> AblationResult:
+    """Sweep the per-thread switch penalty at a high query count."""
+    m = max(2_000, round(20_000 * scale))
+    q = 100
+    rows = []
+    for per_thread in (0.0, 12.0, 50.0, 200.0):
+        model = dataclasses.replace(
+            DEFAULT_COST_MODEL, per_thread_switch_ns=per_thread
+        )
+        ots = _runtime("ots", m, model, n_queries=q)
+        di = _runtime("di", m, model, n_queries=q)
+        rows.append(
+            [per_thread, f"{ots:.2f}", f"{di:.2f}", f"{ots / di:.2f}"]
+        )
+    return AblationResult(
+        name="switch-cost",
+        parameter="per-thread switch penalty [ns]",
+        headers=["per-thread [ns]", "OTS [s]", "DI [s]", "OTS/DI"],
+        rows=rows,
+        conclusion=(
+            "thread-population pressure mostly hits OTS (it runs 6x the "
+            "threads), widening the Fig. 8 gap"
+        ),
+    )
+
+
+def queue_cost_ablation(scale: float = 1.0) -> AblationResult:
+    """Sweep queue synchronization costs; the Section 3.1 premise."""
+    m = max(2_000, round(100_000 * scale))
+    rows = []
+    for sync_ns in (50, 200, 600, 2_000):
+        model = dataclasses.replace(
+            DEFAULT_COST_MODEL, enqueue_ns=sync_ns, dequeue_ns=sync_ns
+        )
+        di = _runtime("di", m, model)
+        ots = _runtime("ots", m, model)
+        rows.append([sync_ns, f"{ots:.2f}", f"{di:.2f}", f"{ots / di:.2f}"])
+    return AblationResult(
+        name="queue-cost",
+        parameter="enqueue/dequeue cost [ns]",
+        headers=["queue op [ns]", "OTS [s]", "DI [s]", "OTS/DI"],
+        rows=rows,
+        conclusion=(
+            "with cheap queues OTS's second core wins (OTS/DI < 1); as "
+            "queue operations grow past the operator cost, DI takes "
+            "over - exactly the VO premise of Section 3.1"
+        ),
+    )
+
+
+def vo_depth_ablation(scale: float = 1.0) -> AblationResult:
+    """Cut one 5-operator chain with 0..4 internal queues (HMTS groups)."""
+    m = max(2_000, round(100_000 * scale))
+    operators = make_operators()
+    rows = []
+    cuts_to_groups = {
+        0: [[0, 1, 2, 3, 4]],
+        1: [[0, 1, 2], [3, 4]],
+        2: [[0, 1], [2, 3], [4]],
+        4: [[0], [1], [2], [3], [4]],
+    }
+    for cuts, groups in cuts_to_groups.items():
+        config = PipelineConfig(
+            operators=operators,
+            source=SourceSpec.constant(m, SOURCE_RATE),
+            mode="hmts",
+            groups=groups,
+            n_cores=2,
+        )
+        runtime = run_pipeline(config).runtime_s
+        rows.append([cuts, len(groups), f"{runtime:.2f}"])
+    return AblationResult(
+        name="vo-depth",
+        parameter="internal decoupling queues",
+        headers=["cuts", "VOs", "runtime [s]"],
+        rows=rows,
+        conclusion=(
+            "each extra cut adds one thread (more parallelism) but one "
+            "queue crossing per element; for cheap operators the queue "
+            "overhead dominates and bigger VOs win"
+        ),
+    )
+
+
+def strategy_ablation(scale: float = 0.05) -> AblationResult:
+    """Run the Fig. 9 workload under every level-2 strategy (GTS)."""
+    from repro.bench.experiments.fig09_10_hmts_vs_gts import (
+        make_operators,
+        make_source,
+    )
+    from repro.sim.pipeline import STRATEGIES
+
+    rows = []
+    second = 1_000_000_000
+    for strategy in STRATEGIES:
+        config = PipelineConfig(
+            operators=make_operators(scale),
+            source=make_source(scale),
+            mode="gts",
+            strategy=strategy,
+            n_cores=2,
+            sample_interval_ns=max(1, round(second * scale)),
+        )
+        result = run_pipeline(config)
+        times = range(
+            0, result.runtime_ns, max(1, result.runtime_ns // 100)
+        )
+        mean_memory = sum(result.memory.value_at(t) for t in times) / max(
+            1, len(list(times))
+        )
+        rows.append(
+            [
+                strategy,
+                f"{result.runtime_s / scale:.0f}",
+                f"{result.memory.max_value():,.0f}",
+                f"{mean_memory:,.0f}",
+                result.results.count,
+            ]
+        )
+    return AblationResult(
+        name="strategy",
+        parameter="level-2 scheduling strategy",
+        headers=[
+            "strategy",
+            "finish [paper s]",
+            "peak mem",
+            "mean mem",
+            "results",
+        ],
+        rows=rows,
+        conclusion=(
+            "all strategies produce the same results and near-identical "
+            "finish times on one scheduler thread; they differ in memory: "
+            "Chain and LQF keep queues near-empty, FIFO/RoundRobin carry "
+            "the burst backlog, and Greedy starves the selectivity-1 "
+            "projection (its release rate is zero) - the classic greedy "
+            "failure mode the lower envelope fixes"
+        ),
+    )
+
+
+def latency_ablation(scale: float = 1.0) -> AblationResult:
+    """Mean/max result latency of the Fig. 7 query per architecture."""
+    m = max(2_000, round(50_000 * scale))
+    rows = []
+    for mode in ("di", "ots", "gts"):
+        config = PipelineConfig(
+            operators=make_operators(),
+            source=SourceSpec.constant(m, SOURCE_RATE),
+            mode=mode,
+            strategy="chain",
+            n_cores=2,
+        )
+        result = run_pipeline(config)
+        rows.append(
+            [
+                mode,
+                f"{result.mean_latency_ns / 1e6:.1f}",
+                f"{result.max_latency_ns / 1e6:.1f}",
+                f"{result.runtime_s:.2f}",
+            ]
+        )
+    return AblationResult(
+        name="latency",
+        parameter="execution architecture",
+        headers=["mode", "mean lat [ms]", "max lat [ms]", "runtime [s]"],
+        rows=rows,
+        conclusion=(
+            "latency follows backlog: DI's single hop keeps elements "
+            "moving, OTS adds a queueing stage per operator, and GTS's "
+            "lone thread lets the backlog (and thus latency) grow an "
+            "order of magnitude beyond DI"
+        ),
+    )
+
+
+def report(result: AblationResult) -> str:
+    """Render one ablation as a table with its conclusion."""
+    return (
+        f"Ablation: {result.name} ({result.parameter})\n\n"
+        + format_table(result.headers, result.rows)
+        + f"\n\nconclusion: {result.conclusion}"
+    )

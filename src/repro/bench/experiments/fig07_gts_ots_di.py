@@ -1,0 +1,125 @@
+"""Figure 7 — runtime of a simple query under GTS, OTS and DI (Section 6.4).
+
+Setup: one query of 5 selections with selectivities 0.998, 0.996, ...,
+0.990 over a source emitting m elements at 500,000 el/s, m from 100,000
+to 1,000,000.  DI: one queue after the source, one thread for all
+selections.  GTS: fully decoupled, one scheduler thread (Chain; the
+paper notes FIFO performed the same).  OTS: fully decoupled, one thread
+per queue.
+
+Expected shape: runtime(GTS) > runtime(OTS) > runtime(DI), all linear
+in m; "OTS is significantly faster than GTS due to its efficient use of
+the multicore environment.  However, DI is even without parallelism
+still 40% faster than OTS."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.harness import format_table
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.pipeline import (
+    OperatorSpec,
+    PipelineConfig,
+    SourceSpec,
+    run_pipeline,
+)
+
+__all__ = [
+    "SELECTIVITIES",
+    "SELECTION_COST_NS",
+    "make_operators",
+    "Fig7Result",
+    "run",
+    "report",
+]
+
+#: The paper's five selection selectivities.
+SELECTIVITIES = (0.998, 0.996, 0.994, 0.992, 0.990)
+
+#: Calibrated per-element selection cost (see EXPERIMENTS.md).
+SELECTION_COST_NS = 500.0
+
+SOURCE_RATE = 500_000.0
+
+
+def make_operators() -> List[OperatorSpec]:
+    """The Fig. 7/8 query: five cheap selections."""
+    return [
+        OperatorSpec(
+            cost_ns=SELECTION_COST_NS, selectivity=s, name=f"sel{i}"
+        )
+        for i, s in enumerate(SELECTIVITIES)
+    ]
+
+
+@dataclass
+class Fig7Result:
+    """Runtimes (seconds) per mode per element count."""
+
+    m_values: List[int]
+    runtimes_s: Dict[str, List[float]]
+
+
+def run(
+    scale: float = 1.0,
+    n_points: int = 4,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Fig7Result:
+    """Execute Fig. 7.
+
+    Args:
+        scale: Fraction of the paper's element counts (1.0 sweeps
+            100k..1M).
+        n_points: Number of m values in the sweep.
+        cost_model: Machine cost model (the ablation benches vary it).
+    """
+    low = max(2_000, round(100_000 * scale))
+    high = max(low + 1, round(1_000_000 * scale))
+    m_values = [
+        round(low + (high - low) * i / (n_points - 1))
+        for i in range(n_points)
+    ]
+    runtimes: Dict[str, List[float]] = {"gts": [], "ots": [], "di": []}
+    for m in m_values:
+        for mode in ("gts", "ots", "di"):
+            config = PipelineConfig(
+                operators=make_operators(),
+                source=SourceSpec.constant(m, SOURCE_RATE),
+                mode=mode,
+                strategy="chain",
+                n_cores=2,
+                cost_model=cost_model,
+            )
+            runtimes[mode].append(run_pipeline(config).runtime_s)
+    return Fig7Result(m_values=m_values, runtimes_s=runtimes)
+
+
+def report(result: Fig7Result) -> str:
+    """Render the Fig. 7 reproduction report."""
+    rows = []
+    for index, m in enumerate(result.m_values):
+        di = result.runtimes_s["di"][index]
+        ots = result.runtimes_s["ots"][index]
+        gts = result.runtimes_s["gts"][index]
+        rows.append(
+            [
+                f"{m:,}",
+                f"{gts:.2f}",
+                f"{ots:.2f}",
+                f"{di:.2f}",
+                f"{ots / di:.2f}",
+                f"{gts / ots:.2f}",
+            ]
+        )
+    table = format_table(
+        ["m", "GTS [s]", "OTS [s]", "DI [s]", "OTS/DI", "GTS/OTS"], rows
+    )
+    return (
+        "Figure 7 - runtime of the 5-selection query (2 cores)\n\n"
+        + table
+        + "\n\npaper shape: GTS > OTS > DI, linear in m; "
+        "DI ~40% faster than OTS (OTS/DI ~ 1.4)."
+    )

@@ -1,0 +1,110 @@
+"""Figure 8 — scalability of OTS versus DI in the number of queries
+(paper Section 6.5).
+
+Setup: the Fig. 7 query (5 selections, m = 100,000 elements) replicated
+q times, q from 1 to 200.  Under OTS each query contributes five
+operator threads plus a source thread; under DI one worker thread plus
+a source thread.
+
+Expected shape: "We observe a significant difference between OTS and
+DI.  The more queries are running, the better is DI."  The absolute gap
+grows with q: DI amortizes its single queue crossing and parallelizes
+whole queries across the cores, while OTS pays five queue crossings per
+element plus thread-management overhead that grows with the thread
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.harness import format_table
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.pipeline import PipelineConfig, SourceSpec, run_pipeline
+
+from repro.bench.experiments.fig07_gts_ots_di import (
+    SOURCE_RATE,
+    make_operators,
+)
+
+__all__ = ["Fig8Result", "run", "report"]
+
+
+@dataclass
+class Fig8Result:
+    """Runtimes (s) and thread counts per query count."""
+
+    q_values: List[int]
+    runtimes_s: Dict[str, List[float]]
+    threads: Dict[str, List[int]]
+
+
+def run(
+    scale: float = 1.0,
+    q_values: List[int] | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Fig8Result:
+    """Execute Fig. 8.
+
+    Args:
+        scale: Fraction of the paper's m = 100,000 elements per query.
+        q_values: Query counts to sweep (default: 1..200 in steps).
+    """
+    m = max(2_000, round(100_000 * scale))
+    if q_values is None:
+        q_values = [1, 25, 50, 100, 150, 200]
+    runtimes: Dict[str, List[float]] = {"ots": [], "di": []}
+    threads: Dict[str, List[int]] = {"ots": [], "di": []}
+    for q in q_values:
+        for mode in ("ots", "di"):
+            config = PipelineConfig(
+                operators=make_operators(),
+                source=SourceSpec.constant(m, SOURCE_RATE),
+                mode=mode,
+                n_queries=q,
+                n_cores=2,
+                cost_model=cost_model,
+            )
+            result = run_pipeline(config)
+            runtimes[mode].append(result.runtime_s)
+            threads[mode].append(len(result.machine.threads))
+    return Fig8Result(q_values=q_values, runtimes_s=runtimes, threads=threads)
+
+
+def report(result: Fig8Result) -> str:
+    """Render the Fig. 8 reproduction report."""
+    rows = []
+    for index, q in enumerate(result.q_values):
+        di = result.runtimes_s["di"][index]
+        ots = result.runtimes_s["ots"][index]
+        rows.append(
+            [
+                q,
+                f"{ots:.1f}",
+                f"{di:.1f}",
+                f"{ots - di:.1f}",
+                f"{ots / di:.2f}",
+                result.threads["ots"][index],
+                result.threads["di"][index],
+            ]
+        )
+    table = format_table(
+        [
+            "queries",
+            "OTS [s]",
+            "DI [s]",
+            "gap [s]",
+            "OTS/DI",
+            "OTS threads",
+            "DI threads",
+        ],
+        rows,
+    )
+    return (
+        "Figure 8 - OTS vs DI while varying the number of queries "
+        "(m=100k each, 2 cores)\n\n"
+        + table
+        + "\n\npaper shape: the more queries, the better DI; the gap "
+        "widens with q."
+    )

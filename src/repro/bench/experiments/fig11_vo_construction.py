@@ -1,0 +1,164 @@
+"""Figure 11 — comparison of VO-construction algorithms (Section 6.7).
+
+Setup: run three partitioning algorithms on random DAGs with 10 to
+1000 operator nodes and report the average *negative* and *positive*
+capacities of the virtual operators they produce:
+
+* the paper's Algorithm 1 (:func:`repro.core.placement.stall_avoiding_partitioning`),
+* the simplified segment strategy of Jiang & Chakravarthy
+  (:func:`repro.core.placement.segment_partitioning`),
+* the Chain-based construction (:func:`repro.core.placement.chain_partitioning`).
+
+Expected shape: "All three strategies produce only very few VOs.  They
+are not fully utilized but they differ significantly in their average
+negative capacity.  Our VO construction algorithm performs better than
+the other algorithms."  Negative capacity means a VO stalls incoming
+elements; Algorithm 1's capacity constraint keeps its negatives to the
+inherently overloaded single operators, while the capacity-blind
+baselines merge into the red.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.bench.harness import format_table
+from repro.core.placement import (
+    PlacementResult,
+    chain_partitioning,
+    segment_partitioning,
+    stall_avoiding_partitioning,
+)
+from repro.graph.random_dags import RandomDagConfig, random_query_dag
+
+__all__ = ["Fig11Result", "run", "report", "ALGORITHMS"]
+
+MS = 1e6  # ns per millisecond
+
+ALGORITHMS: Dict[str, Callable] = {
+    "stall-avoiding": lambda graph: stall_avoiding_partitioning(
+        graph, include_sources=False
+    ),
+    "segment": segment_partitioning,
+    "chain": chain_partitioning,
+}
+
+
+@dataclass
+class AlgorithmStats:
+    """Aggregated capacities across all graphs of one size."""
+
+    vo_count: float
+    negative_count: float
+    mean_negative_ms: float
+    mean_positive_ms: float
+
+
+@dataclass
+class Fig11Result:
+    """Per-size, per-algorithm statistics."""
+
+    sizes: List[int]
+    stats: Dict[str, Dict[int, AlgorithmStats]]
+    graphs_per_size: int
+
+    def mean_negative_over_all(self, algorithm: str) -> float:
+        """Average negative capacity (ms) across all sizes."""
+        values = [self.stats[algorithm][n].mean_negative_ms for n in self.sizes]
+        return sum(values) / len(values)
+
+
+def _aggregate(results: List[PlacementResult]) -> AlgorithmStats:
+    vo_counts = [len(r.partitioning) for r in results]
+    negatives = [c for r in results for c in r.negative_capacities_ns()]
+    positives = [c for r in results for c in r.positive_capacities_ns()]
+    return AlgorithmStats(
+        vo_count=sum(vo_counts) / len(vo_counts),
+        negative_count=len(negatives) / len(results),
+        mean_negative_ms=(sum(negatives) / len(negatives) / MS)
+        if negatives
+        else 0.0,
+        mean_positive_ms=(sum(positives) / len(positives) / MS)
+        if positives
+        else 0.0,
+    )
+
+
+def run(
+    scale: float = 1.0,
+    sizes: List[int] | None = None,
+    graphs_per_size: int = 5,
+) -> Fig11Result:
+    """Execute Fig. 11.
+
+    Args:
+        scale: Scales the largest graph size (1.0 sweeps 10..1000).
+        sizes: Explicit node counts (overrides ``scale``).
+        graphs_per_size: Random graphs averaged per point.
+    """
+    if sizes is None:
+        top = max(20, round(1000 * scale))
+        sizes = sorted({10, max(11, top // 20), top // 4, top // 2, top})
+    stats: Dict[str, Dict[int, AlgorithmStats]] = {
+        name: {} for name in ALGORITHMS
+    }
+    for size in sizes:
+        per_algorithm: Dict[str, List[PlacementResult]] = {
+            name: [] for name in ALGORITHMS
+        }
+        for seed in range(graphs_per_size):
+            graph = random_query_dag(
+                RandomDagConfig(n_operators=size, seed=seed * 7919 + size)
+            )
+            for name, algorithm in ALGORITHMS.items():
+                per_algorithm[name].append(algorithm(graph))
+        for name in ALGORITHMS:
+            stats[name][size] = _aggregate(per_algorithm[name])
+    return Fig11Result(
+        sizes=sizes, stats=stats, graphs_per_size=graphs_per_size
+    )
+
+
+def report(result: Fig11Result) -> str:
+    """Render the Fig. 11 reproduction report."""
+    rows = []
+    for size in result.sizes:
+        for name in ALGORITHMS:
+            s = result.stats[name][size]
+            rows.append(
+                [
+                    size,
+                    name,
+                    f"{s.vo_count:.1f}",
+                    f"{s.negative_count:.1f}",
+                    f"{s.mean_negative_ms:.3f}",
+                    f"{s.mean_positive_ms:.3f}",
+                ]
+            )
+    table = format_table(
+        [
+            "nodes",
+            "algorithm",
+            "avg VOs",
+            "avg neg VOs",
+            "avg neg cap [ms]",
+            "avg pos cap [ms]",
+        ],
+        rows,
+    )
+    summary_rows = [
+        [name, f"{result.mean_negative_over_all(name):.3f}"]
+        for name in ALGORITHMS
+    ]
+    summary = format_table(["algorithm", "mean neg cap [ms]"], summary_rows)
+    return (
+        "Figure 11 - capacities of three VO-construction algorithms on "
+        f"random DAGs ({result.graphs_per_size} graphs/point)\n\n"
+        + table
+        + "\n\nOverall average negative capacity (closer to 0 is better):\n\n"
+        + summary
+        + "\n\npaper shape: all produce few VOs with positive slack; "
+        "Algorithm 1's average negative capacity is clearly the "
+        "smallest in magnitude."
+    )

@@ -1,0 +1,65 @@
+"""Reporting helpers for the experiment harness.
+
+The experiments print the same rows/series the paper's figures plot,
+as plain-text tables plus coarse ASCII sparkline charts, so results are
+inspectable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "ascii_chart", "format_series_table"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a right-padded plain-text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    label: str, values: Sequence[float], width: int = 72
+) -> str:
+    """A one-line density sparkline of ``values`` scaled to their max."""
+    if not values:
+        return f"{label}: (no data)"
+    if len(values) > width:
+        # Downsample by striding.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    peak = max(values) or 1.0
+    chars = []
+    for value in values:
+        level = int(round((len(_BLOCKS) - 1) * max(0.0, value) / peak))
+        chars.append(_BLOCKS[level])
+    return f"{label} |{''.join(chars)}| max={peak:g}"
+
+
+def format_series_table(
+    headers: Sequence[str],
+    times_s: Sequence[float],
+    columns: Sequence[Sequence[float]],
+    fmt: str = "{:.1f}",
+) -> str:
+    """A table with a time column plus one column per series."""
+    rows: List[List[object]] = []
+    for index, t in enumerate(times_s):
+        row: List[object] = [f"{t:g}"]
+        for column in columns:
+            row.append(fmt.format(column[index]))
+        rows.append(row)
+    return format_table(headers, rows)

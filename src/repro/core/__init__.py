@@ -1,0 +1,91 @@
+"""The paper's contribution: HMTS scheduling, VOs, and queue placement."""
+
+from repro.core.adaptive import AdaptiveReplacer, RebalanceReport
+from repro.core.capacity import (
+    CapacityAggregate,
+    node_aggregate,
+    partition_capacity,
+    partition_cost,
+    partition_interarrival,
+)
+from repro.core.dataflow import Dispatcher
+from repro.core.engine import EngineReport, ThreadedEngine
+from repro.core.envelope import (
+    ProgressPoint,
+    lower_envelope_segments,
+    progress_chart,
+    segment_slopes,
+)
+from repro.core.modes import (
+    EngineConfig,
+    PartitionSpec,
+    SchedulingMode,
+    di_config,
+    gts_config,
+    hmts_config,
+    ots_config,
+)
+from repro.core.partition import Partition, Partitioning
+from repro.core.placement import (
+    PlacementResult,
+    ReplacementPlan,
+    chain_partitioning,
+    segment_partitioning,
+    stall_avoiding_partitioning,
+    stall_avoiding_replacement,
+)
+from repro.core.strategies import (
+    ChainStrategy,
+    FifoStrategy,
+    GreedyStrategy,
+    LongestQueueFirstStrategy,
+    RoundRobinStrategy,
+    SchedulingStrategy,
+    make_strategy,
+    operator_chains,
+)
+from repro.core.thread_scheduler import ThreadScheduler
+from repro.core.virtual_operator import VirtualOperator, build_virtual_operators
+
+__all__ = [
+    "AdaptiveReplacer",
+    "RebalanceReport",
+    "ReplacementPlan",
+    "stall_avoiding_replacement",
+    "CapacityAggregate",
+    "node_aggregate",
+    "partition_capacity",
+    "partition_cost",
+    "partition_interarrival",
+    "Dispatcher",
+    "EngineReport",
+    "ThreadedEngine",
+    "ProgressPoint",
+    "lower_envelope_segments",
+    "progress_chart",
+    "segment_slopes",
+    "EngineConfig",
+    "PartitionSpec",
+    "SchedulingMode",
+    "di_config",
+    "gts_config",
+    "hmts_config",
+    "ots_config",
+    "Partition",
+    "Partitioning",
+    "PlacementResult",
+    "chain_partitioning",
+    "segment_partitioning",
+    "stall_avoiding_partitioning",
+    "SchedulingStrategy",
+    "FifoStrategy",
+    "RoundRobinStrategy",
+    "ChainStrategy",
+    "GreedyStrategy",
+    "LongestQueueFirstStrategy",
+    "make_strategy",
+    "operator_chains",
+    "ThreadScheduler",
+    "VirtualOperator",
+    "build_virtual_operators",
+]

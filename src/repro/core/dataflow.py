@@ -1,0 +1,216 @@
+"""Direct interoperability (DI): push-based dataflow through a graph.
+
+Paper Section 2.4: "we let an operator invoke its successors.
+Therefore, an incoming element at an operator triggers a chain
+reaction, resulting in a depth first traversal of the graph. [...] We
+denote the ability of an operator to call its successors direct
+interoperability (DI)."
+
+:class:`Dispatcher` implements that chain reaction over a
+:class:`~repro.graph.query_graph.QueryGraph`:
+
+* data elements flow depth-first through operators,
+* **decoupling queues stop DI** — an element reaching a queue node is
+  buffered there, to be picked up later by whichever scheduler owns the
+  queue,
+* sinks consume,
+* END_OF_STREAM propagates port-wise; an operator flushes and closes
+  once all its ports have ended.
+
+Every execution engine (DI-only, GTS, OTS, HMTS — real threads or
+simulated) is built on this dispatcher, which is what makes the paper's
+"seamless switching" between modes possible: the graph and its
+operators never change, only who calls the dispatcher and where the
+queues sit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+from repro.operators.queue_op import QueueOperator
+from repro.stats.estimators import StatisticsRegistry
+from repro.streams.elements import (
+    Punctuation,
+    StreamElement,
+    is_data,
+    is_end,
+)
+from repro.streams.sinks import Sink
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Executes DI chain reactions and end-of-stream propagation.
+
+    Args:
+        graph: The query graph to execute.  Structural changes (queue
+            insertion/removal) are picked up automatically because edges
+            are resolved per dispatch.
+        stats: Optional statistics registry; when given, every operator
+            invocation is timed with ``time.perf_counter_ns`` and folded
+            into the node's measured ``c(v)`` / ``d(v)``.
+    """
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        stats: Optional[StatisticsRegistry] = None,
+        locking: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.stats = stats
+        #: Number of elements delivered to sinks so far.
+        self.sink_deliveries = 0
+        #: Number of operator invocations performed so far.
+        self.invocations = 0
+        # Per-node locks: operators are not thread-safe, and under OTS or
+        # multi-source DI the same operator can be reached from several
+        # threads at once (e.g. a join fed by two autonomous sources).
+        self._locking = locking
+        self._locks: dict[Node, "threading.Lock"] = {}
+        self._locks_guard = threading.Lock() if locking else None
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def inject(self, node: Node, element: StreamElement, port: int = 0) -> None:
+        """Deliver ``element`` to ``node``'s input ``port`` and run DI.
+
+        The chain reaction stops at decoupling queues (the element is
+        buffered) and at sinks (the element is consumed).
+        """
+        # Depth-first traversal with an explicit stack (query graphs can
+        # be deep; DI must not be limited by Python's recursion limit).
+        stack: List[Tuple[Node, StreamElement, int]] = [(node, element, port)]
+        while stack:
+            current, item, in_port = stack.pop()
+            if current.is_sink:
+                self._deliver_to_sink(current, item)
+                continue
+            operator = current.operator
+            if isinstance(operator, QueueOperator):
+                operator.process(item, in_port)
+                continue
+            outputs = self._invoke(current, item, in_port)
+            if outputs:
+                self._fan_out(current, outputs, stack)
+
+    def inject_end(self, node: Node, port: int = 0) -> None:
+        """Signal END_OF_STREAM on ``node``'s input ``port`` via DI.
+
+        Flush output (if the node closes) is delivered first, then the
+        end signal propagates to the node's successors.
+        """
+        stack: List[Tuple[Node, Punctuation | None, int]] = [(node, None, port)]
+        while stack:
+            current, _, in_port = stack.pop()
+            if current.is_sink:
+                sink = current.payload
+                assert isinstance(sink, Sink)
+                with self._lock_for(current):
+                    if not sink.ended:
+                        sink.on_end()
+                continue
+            operator = current.operator
+            if isinstance(operator, QueueOperator):
+                # END travels through the buffer behind the data.
+                operator.end_port(in_port)
+                continue
+            with self._lock_for(current):
+                flush = operator.end_port(in_port)
+            if flush:
+                data_stack: List[Tuple[Node, StreamElement, int]] = []
+                self._fan_out(current, flush, data_stack)
+                while data_stack:
+                    nxt, item, nxt_port = data_stack.pop()
+                    self.inject(nxt, item, nxt_port)
+            if operator.closed:
+                for edge in self.graph.out_edges(current):
+                    stack.append((edge.consumer, None, edge.port))
+
+    # ------------------------------------------------------------------
+    # Queue consumption (used by schedulers)
+    # ------------------------------------------------------------------
+    def run_queue(self, queue_node: Node, max_items: int | None = None) -> int:
+        """Pop up to ``max_items`` buffered items and run DI downstream.
+
+        Returns the number of *data* elements processed.  An
+        END_OF_STREAM marker popped from the buffer is forwarded as an
+        end signal to the queue's consumer.
+        """
+        queue_op = queue_node.payload
+        if not isinstance(queue_op, QueueOperator):
+            raise SchedulingError(f"{queue_node.name!r} is not a queue node")
+        out_edges = self.graph.out_edges(queue_node)
+        processed = 0
+        remaining = max_items if max_items is not None else float("inf")
+        while remaining > 0:
+            item = queue_op.try_pop()
+            if item is None:
+                break
+            if is_data(item):
+                assert isinstance(item, StreamElement)
+                for edge in out_edges:
+                    self.inject(edge.consumer, item, edge.port)
+                processed += 1
+                remaining -= 1
+            elif is_end(item):
+                for edge in out_edges:
+                    self.inject_end(edge.consumer, edge.port)
+            # NO_ELEMENT markers are meaningful only to pull-based
+            # proxies; a push scheduler simply skips them.
+        return processed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lock_for(self, node: Node):
+        if not self._locking:
+            return nullcontext()
+        lock = self._locks.get(node)
+        if lock is None:
+            with self._locks_guard:
+                lock = self._locks.setdefault(node, threading.Lock())
+        return lock
+
+    def _invoke(
+        self, node: Node, element: StreamElement, port: int
+    ) -> List[StreamElement]:
+        self.invocations += 1
+        with self._lock_for(node):
+            if self.stats is None:
+                return node.operator.process(element, port)
+            started = time.perf_counter_ns()
+            outputs = node.operator.process(element, port)
+            elapsed = time.perf_counter_ns() - started
+        self.stats.observe(node, arrival_ns=element.timestamp, processing_ns=elapsed)
+        return outputs
+
+    def _fan_out(
+        self,
+        node: Node,
+        outputs: Iterable[StreamElement],
+        stack: List[Tuple[Node, StreamElement, int]],
+    ) -> None:
+        edges = self.graph.out_edges(node)
+        # Both loops run reversed so that the stack (last-in first-out)
+        # pops elements in production order and edges in declaration
+        # order.
+        for output in reversed(list(outputs)):
+            for edge in reversed(edges):
+                stack.append((edge.consumer, output, edge.port))
+
+    def _deliver_to_sink(self, node: Node, element: StreamElement) -> None:
+        sink = node.payload
+        assert isinstance(sink, Sink)
+        with self._lock_for(node):
+            sink.receive(element)
+        self.sink_deliveries += 1

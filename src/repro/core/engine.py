@@ -1,0 +1,486 @@
+"""The real-thread execution engine.
+
+Runs a query graph with OS threads, in any of the configurations of
+:mod:`repro.core.modes`:
+
+* one autonomous thread per data source (the paper's sources are
+  autonomous in every experiment),
+* one worker thread per level-2 partition, scheduling its queues under
+  the partition's strategy,
+* an optional level-3 :class:`~repro.core.thread_scheduler.ThreadScheduler`
+  bounding concurrency with priorities and aging.
+
+The engine also implements the runtime flexibility of Section 4.2.2 and
+5.1.3: :meth:`ThreadedEngine.pause` / :meth:`ThreadedEngine.resume`
+suspend processing at batch boundaries ("interrupting the processing of
+the graph shortly"), :meth:`ThreadedEngine.reconfigure` switches the
+partition layout — and thus between GTS, OTS, and HMTS — while the
+query runs, and :meth:`ThreadedEngine.insert_queue_runtime` /
+:meth:`ThreadedEngine.remove_queue_runtime` change the decoupling
+points of the live graph.
+
+Note on measurement: this engine is *functionally* faithful, but under
+CPython's GIL its wall-clock numbers do not reflect the multi-core
+behaviour the paper measures; use :mod:`repro.sim` for the performance
+experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.dataflow import Dispatcher
+from repro.core.modes import EngineConfig, PartitionSpec, SchedulingMode
+from repro.core.thread_scheduler import ThreadScheduler
+from repro.errors import EngineStateError, SchedulingError
+from repro.graph.node import Node
+from repro.graph.query_graph import Edge, QueryGraph
+from repro.operators.queue_op import QueueOperator
+from repro.stats.estimators import StatisticsRegistry
+from repro.streams.sinks import Sink
+from repro.streams.sources import Source
+
+__all__ = ["ThreadedEngine", "EngineReport"]
+
+_POLL_SECONDS = 0.01
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one engine run.
+
+    Attributes:
+        mode: The configuration's scheduling mode.
+        wall_ns: Wall-clock duration of the run.
+        invocations: Operator invocations performed by the dispatcher.
+        sink_counts: Elements delivered, per sink name.
+        queue_peaks: Peak buffered elements, per queue name.
+        memory_samples: Optional ``(wall_ns, total_queued)`` series
+            sampled during the run.
+        aborted: True when the run hit the timeout and was aborted.
+    """
+
+    mode: SchedulingMode
+    wall_ns: int
+    invocations: int
+    sink_counts: Dict[str, int]
+    queue_peaks: Dict[str, int]
+    memory_samples: List[tuple[int, int]] = field(default_factory=list)
+    aborted: bool = False
+
+    @property
+    def total_results(self) -> int:
+        """Sum of all sink deliveries."""
+        return sum(self.sink_counts.values())
+
+
+class ThreadedEngine:
+    """Executes a query graph with real threads.
+
+    Args:
+        graph: A validated query graph.
+        config: Partition layout and level-3 parameters; see
+            :mod:`repro.core.modes` for factories.
+        stats: Optional registry measuring ``c(v)``/``d(v)`` at runtime.
+    """
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        config: EngineConfig,
+        stats: Optional[StatisticsRegistry] = None,
+    ) -> None:
+        graph.validate()
+        uncovered = set(graph.queues()) - config.owned_queues()
+        if uncovered:
+            raise SchedulingError(
+                "no partition owns queue(s): "
+                + ", ".join(node.name for node in uncovered)
+            )
+        self.graph = graph
+        self.config = config
+        self.dispatcher = Dispatcher(graph, stats=stats, locking=True)
+        self._threads: List[threading.Thread] = []
+        self._abort = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+        # Quiescence barrier: counts threads currently inside a unit of
+        # work (an element injection or a queue batch).  pause() waits
+        # for it to drain so structural graph changes see no in-flight
+        # elements.
+        self._work_condition = threading.Condition()
+        self._active_workers = 0
+        self._generation = 0
+        self._partitions: List[PartitionSpec] = list(config.partitions)
+        self._reconfig_lock = threading.RLock()
+        self._started = False
+        self._finished = threading.Event()
+        self._sources_done = 0
+        self._sources_lock = threading.Lock()
+        #: Exceptions raised inside engine threads (name, exception).
+        self.errors: List[tuple[str, BaseException]] = []
+        self._start_wall_ns = 0
+        self.thread_scheduler: Optional[ThreadScheduler] = None
+        if config.max_concurrency is not None:
+            self.thread_scheduler = ThreadScheduler(
+                max_concurrency=config.max_concurrency,
+                aging_ns=config.aging_ns,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        timeout: float | None = None,
+        sample_interval_s: float | None = None,
+    ) -> EngineReport:
+        """Execute the graph to completion (blocking).
+
+        Args:
+            timeout: Abort the run after this many wall seconds.
+            sample_interval_s: When given, sample the total queued
+                element count at this period into the report.
+
+        Returns:
+            The run report; ``aborted`` is True on timeout.
+        """
+        self.start()
+        samples: List[tuple[int, int]] = []
+        sampler = None
+        if sample_interval_s is not None:
+            sampler = threading.Thread(
+                target=self._sample_memory,
+                args=(sample_interval_s, samples),
+                name="engine-sampler",
+                daemon=True,
+            )
+            sampler.start()
+        finished = self.join(timeout)
+        if not finished:
+            self.abort()
+            self.join(None)
+        if sampler is not None:
+            sampler.join()
+        if self.errors:
+            name, error = self.errors[0]
+            raise SchedulingError(
+                f"engine thread {name!r} failed: {error!r}"
+            ) from error
+        return self._report(samples, aborted=not finished)
+
+    def start(self) -> None:
+        """Start source and worker threads without blocking."""
+        with self._reconfig_lock:
+            if self._started:
+                raise EngineStateError("engine already started")
+            self._started = True
+            self._start_wall_ns = time.monotonic_ns()
+            for spec in self._partitions:
+                self._start_partition(spec, self._generation)
+            for node in self.graph.sources():
+                thread = threading.Thread(
+                    target=self._source_worker,
+                    args=(node,),
+                    name=f"source:{node.name}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for every thread to finish; True when all completed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._reconfig_lock:
+                threads = list(self._threads)
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                with self._reconfig_lock:
+                    # Reconfiguration may have started new threads while
+                    # we were checking; only finish when the set is
+                    # stable and all dead.
+                    if all(not t.is_alive() for t in self._threads):
+                        self._finished.set()
+                        return True
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            alive[0].join(timeout=_POLL_SECONDS)
+
+    def abort(self) -> None:
+        """Ask every thread to exit at the next safe point."""
+        self._abort.set()
+        self._resume.set()
+        if self.thread_scheduler is not None:
+            self.thread_scheduler.stop()
+
+    # ------------------------------------------------------------------
+    # Runtime flexibility (paper Sections 4.2.2 / 5.1.3)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _work_gate(self):
+        """Bracket one unit of work; blocks while the engine is paused."""
+        while not self._resume.is_set() and not self._abort.is_set():
+            self._resume.wait(_POLL_SECONDS)
+        with self._work_condition:
+            self._active_workers += 1
+        try:
+            yield
+        finally:
+            with self._work_condition:
+                self._active_workers -= 1
+                self._work_condition.notify_all()
+
+    def pause(self) -> None:
+        """Suspend all processing and wait for in-flight work to drain.
+
+        After pause() returns, no element is mid-dispatch anywhere, so
+        the graph structure can be changed safely ("interrupting the
+        processing of the graph shortly", Section 5.1.3).
+        """
+        self._resume.clear()
+        with self._work_condition:
+            while self._active_workers > 0:
+                self._work_condition.wait(_POLL_SECONDS)
+
+    def resume(self) -> None:
+        """Resume after :meth:`pause`."""
+        self._resume.set()
+
+    def reconfigure(self, partitions: List[PartitionSpec]) -> None:
+        """Switch the partition layout (and thus the scheduling mode).
+
+        Safe to call while running: processing pauses briefly, the old
+        worker threads retire, and new workers take over the queues —
+        the seamless OTS/GTS/HMTS switching of Section 4.2.2.
+        """
+        covered = {
+            node for spec in partitions for node in spec.queue_nodes
+        }
+        missing = set(self.graph.queues()) - covered
+        if missing:
+            raise SchedulingError(
+                "reconfigure must cover all queues; missing "
+                + ", ".join(node.name for node in missing)
+            )
+        with self._reconfig_lock:
+            was_running = self._resume.is_set()
+            self.pause()
+            self._generation += 1
+            generation = self._generation
+            self._partitions = list(partitions)
+            if self._started and not self._abort.is_set():
+                for spec in partitions:
+                    self._start_partition(spec, generation)
+            if was_running:
+                self.resume()
+
+    def insert_queue_runtime(
+        self, edge: Edge, owner: PartitionSpec | None = None
+    ) -> Node:
+        """Insert a decoupling queue on ``edge`` while running.
+
+        The new queue is added to ``owner`` (default: the first
+        partition).  Processing pauses only for the splice itself.
+        """
+        with self._reconfig_lock:
+            was_running = self._resume.is_set()
+            self.pause()
+            try:
+                queue_node = self.graph.insert_queue(edge)
+                target = owner or (self._partitions[0] if self._partitions else None)
+                if target is None:
+                    raise SchedulingError(
+                        "no partition available to own the new queue; "
+                        "reconfigure with at least one partition first"
+                    )
+                target.queue_nodes.append(queue_node)
+                target.strategy.prepare(self.graph, target.queue_nodes)
+            finally:
+                if was_running:
+                    self.resume()
+            return queue_node
+
+    def remove_queue_runtime(self, queue_node: Node) -> Edge:
+        """Drain and remove a decoupling queue while running.
+
+        Section 5.1.3: "To remove a queue all remaining elements in the
+        queue must be entirely processed before."
+        """
+        with self._reconfig_lock:
+            was_running = self._resume.is_set()
+            self.pause()
+            try:
+                queue_op = queue_node.payload
+                assert isinstance(queue_op, QueueOperator)
+                self.dispatcher.run_queue(queue_node, None)
+                for spec in self._partitions:
+                    if queue_node in spec.queue_nodes:
+                        spec.queue_nodes.remove(queue_node)
+                        if spec.queue_nodes:
+                            spec.strategy.prepare(self.graph, spec.queue_nodes)
+                return self.graph.remove_queue(queue_node)
+            finally:
+                if was_running:
+                    self.resume()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _start_partition(self, spec: PartitionSpec, generation: int) -> None:
+        if self.thread_scheduler is not None:
+            try:
+                self.thread_scheduler.register(
+                    f"{spec.name}@{generation}", spec.priority
+                )
+            except SchedulingError:
+                pass  # re-registration after reconfigure with same name
+        thread = threading.Thread(
+            target=self._partition_worker,
+            args=(spec, generation),
+            name=f"partition:{spec.name}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _source_worker(self, node: Node) -> None:
+        try:
+            self._source_worker_inner(node)
+        except BaseException as error:  # noqa: BLE001 - report any failure
+            self.errors.append((f"source:{node.name}", error))
+            self.abort()
+
+    def _source_worker_inner(self, node: Node) -> None:
+        source = node.payload
+        assert isinstance(source, Source)
+        pace = self.config.pace_sources
+        scale = self.config.time_scale
+        started = time.monotonic()
+        for element in source:
+            if self._abort.is_set():
+                return
+            if pace:
+                target = started + element.timestamp * scale / 1e9
+                delay = target - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            with self._work_gate():
+                for edge in self.graph.out_edges(node):
+                    self.dispatcher.inject(edge.consumer, element, edge.port)
+        with self._work_gate():
+            for edge in self.graph.out_edges(node):
+                self.dispatcher.inject_end(edge.consumer, edge.port)
+
+    def _partition_worker(self, spec: PartitionSpec, generation: int) -> None:
+        try:
+            self._partition_worker_inner(spec, generation)
+        except BaseException as error:  # noqa: BLE001 - report any failure
+            self.errors.append((f"partition:{spec.name}", error))
+            self.abort()
+
+    def _partition_worker_inner(
+        self, spec: PartitionSpec, generation: int
+    ) -> None:
+        spec.strategy.prepare(self.graph, spec.queue_nodes)
+        wake = threading.Event()
+        unit_id = f"{spec.name}@{generation}"
+        ts = self.thread_scheduler
+
+        def queue_ops() -> list[QueueOperator]:
+            ops = []
+            for queue_node in spec.queue_nodes:
+                payload = queue_node.payload
+                assert isinstance(payload, QueueOperator)
+                ops.append(payload)
+            return ops
+
+        for op in queue_ops():
+            op.push_listener = wake.set
+        try:
+            while not self._abort.is_set():
+                if generation != self._generation:
+                    return  # retired by reconfigure()
+                if not self._resume.is_set():
+                    self._resume.wait(_POLL_SECONDS)
+                    continue
+                ops = queue_ops()
+                ready = [
+                    node
+                    for node, op in zip(spec.queue_nodes, ops)
+                    if len(op) > 0
+                ]
+                if not ready:
+                    if all(op.closed for op in ops):
+                        return
+                    wake.wait(_POLL_SECONDS)
+                    wake.clear()
+                    continue
+                queue_node = spec.strategy.select(ready)
+                if ts is not None:
+                    if not ts.acquire(unit_id, timeout=_POLL_SECONDS * 5):
+                        continue
+                    try:
+                        with self._work_gate():
+                            self.dispatcher.run_queue(
+                                queue_node, self.config.batch_limit
+                            )
+                    finally:
+                        ts.release(unit_id)
+                else:
+                    with self._work_gate():
+                        self.dispatcher.run_queue(
+                            queue_node, self.config.batch_limit
+                        )
+        finally:
+            for op in queue_ops():
+                if op.push_listener is wake.set:
+                    op.push_listener = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _sample_memory(
+        self, interval_s: float, samples: List[tuple[int, int]]
+    ) -> None:
+        while not self._finished.is_set() and not self._abort.is_set():
+            total = sum(len(op) for op in self._queue_operators())
+            samples.append((time.monotonic_ns() - self._start_wall_ns, total))
+            self._finished.wait(interval_s)
+
+    def _queue_operators(self) -> list[QueueOperator]:
+        ops = []
+        for node in self.graph.queues():
+            payload = node.payload
+            assert isinstance(payload, QueueOperator)
+            ops.append(payload)
+        return ops
+
+    def _report(
+        self, samples: List[tuple[int, int]], aborted: bool
+    ) -> EngineReport:
+        sink_counts: Dict[str, int] = {}
+        for node in self.graph.sinks():
+            sink = node.payload
+            assert isinstance(sink, Sink)
+            count = getattr(sink, "count", None)
+            if count is None:
+                count = len(getattr(sink, "elements", []) or [])
+            sink_counts[node.name] = count
+        queue_peaks = {
+            node.name: node.payload.peak_size for node in self.graph.queues()
+        }
+        return EngineReport(
+            mode=self.config.mode,
+            wall_ns=time.monotonic_ns() - self._start_wall_ns,
+            invocations=self.dispatcher.invocations,
+            sink_counts=sink_counts,
+            queue_peaks=queue_peaks,
+            memory_samples=samples,
+            aborted=aborted,
+        )

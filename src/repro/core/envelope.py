@@ -1,0 +1,134 @@
+"""Progress charts and lower envelopes (Chain, Babcock et al. 2003).
+
+The Chain scheduling strategy models an operator path as a *progress
+chart*: starting from the point ``(0, 1)`` (no work done, full tuple
+size), each operator ``i`` with per-element cost ``c_i`` and selectivity
+``s_i`` moves the chart to ``(sum(c_1..c_i), prod(s_1..s_i))`` — after
+spending that much processing time, this fraction of the original data
+volume remains.
+
+The *lower envelope* greedily picks, from the current point, the future
+point with the steepest downward slope (the largest data-volume drop per
+unit of processing time).  The operators between consecutive envelope
+points form a *segment*; Chain schedules segments by slope steepness,
+which provably minimizes memory.  The paper uses the envelope twice:
+
+* as the GTS baseline strategy in the experiments of Sections 6.4/6.6,
+* as the "algorithm based on the chain strategy" that builds VOs by
+  merging operators of the same segment (Section 6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["ProgressPoint", "progress_chart", "lower_envelope_segments", "segment_slopes"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressPoint:
+    """One vertex of a progress chart.
+
+    Attributes:
+        cumulative_cost_ns: Total processing time invested per original
+            element after the corresponding operator prefix.
+        remaining_fraction: Fraction of the original data volume that
+            survives the prefix (product of selectivities).
+    """
+
+    cumulative_cost_ns: float
+    remaining_fraction: float
+
+
+def progress_chart(
+    costs_ns: Sequence[float], selectivities: Sequence[float]
+) -> List[ProgressPoint]:
+    """The progress chart of an operator path.
+
+    Returns ``len(costs) + 1`` points; point ``0`` is the origin
+    ``(0, 1)`` and point ``i`` is the state after operator ``i-1``.
+    """
+    if len(costs_ns) != len(selectivities):
+        raise ValueError(
+            f"costs ({len(costs_ns)}) and selectivities "
+            f"({len(selectivities)}) must have equal length"
+        )
+    points = [ProgressPoint(0.0, 1.0)]
+    cost_total = 0.0
+    fraction = 1.0
+    for cost, selectivity in zip(costs_ns, selectivities):
+        if cost < 0:
+            raise ValueError(f"operator cost must be non-negative, got {cost}")
+        if selectivity < 0:
+            raise ValueError(
+                f"selectivity must be non-negative, got {selectivity}"
+            )
+        cost_total += cost
+        fraction *= selectivity
+        points.append(ProgressPoint(cost_total, fraction))
+    return points
+
+
+def lower_envelope_segments(
+    costs_ns: Sequence[float], selectivities: Sequence[float]
+) -> List[List[int]]:
+    """Partition a path's operators into lower-envelope segments.
+
+    From the current chart point, the next envelope point is the future
+    point with the minimal slope (steepest descent of remaining data
+    volume per unit cost); ties prefer the farthest point.  Operators
+    between consecutive envelope points form one segment.
+
+    Returns:
+        Segments as lists of 0-based operator indices, in path order.
+        Their concatenation is ``range(len(costs_ns))``.
+    """
+    points = progress_chart(costs_ns, selectivities)
+    n = len(costs_ns)
+    segments: List[List[int]] = []
+    current = 0
+    while current < n:
+        best_index = current + 1
+        best_slope = None
+        for candidate in range(current + 1, n + 1):
+            run = points[candidate].cumulative_cost_ns - points[current].cumulative_cost_ns
+            rise = (
+                points[candidate].remaining_fraction
+                - points[current].remaining_fraction
+            )
+            if run <= 0:
+                # Zero-cost operators: fold them into the next segment by
+                # treating the slope as the steepest possible.
+                slope = float("-inf") if rise < 0 else 0.0
+            else:
+                slope = rise / run
+            if best_slope is None or slope < best_slope or (
+                slope == best_slope and candidate > best_index
+            ):
+                best_slope = slope
+                best_index = candidate
+        segments.append(list(range(current, best_index)))
+        current = best_index
+    return segments
+
+
+def segment_slopes(
+    costs_ns: Sequence[float], selectivities: Sequence[float]
+) -> List[float]:
+    """Per-operator envelope slope (the Chain scheduling priority).
+
+    Every operator inherits the slope of its envelope segment; steeper
+    (more negative) slopes are scheduled first by Chain.  Returns one
+    slope per operator, in path order.
+    """
+    points = progress_chart(costs_ns, selectivities)
+    slopes = [0.0] * len(costs_ns)
+    for segment in lower_envelope_segments(costs_ns, selectivities):
+        first, last = segment[0], segment[-1]
+        run = points[last + 1].cumulative_cost_ns - points[first].cumulative_cost_ns
+        rise = points[last + 1].remaining_fraction - points[first].remaining_fraction
+        slope = rise / run if run > 0 else float("-inf")
+        for index in segment:
+            slopes[index] = slope
+    return slopes

@@ -1,0 +1,165 @@
+"""Partitions of a query graph (candidate virtual operators).
+
+Paper Section 5.1.2: "Let us consider a partitioning P of G, which
+consists of disjoint subgraphs P_i.  As a partition shall correspond to
+a VO, we additionally require that all nodes in a partition are
+connected."
+
+A :class:`Partition` is an ordered set of graph nodes; a
+:class:`Partitioning` is a family of disjoint partitions covering a
+node set, with validation of disjointness and weak connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.core.capacity import CapacityAggregate, node_aggregate
+from repro.errors import PartitionError
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["Partition", "Partitioning"]
+
+
+class Partition:
+    """A connected group of nodes intended to run as one virtual operator."""
+
+    def __init__(self, nodes: Iterable[Node], name: str | None = None) -> None:
+        self._nodes: list[Node] = []
+        seen: set[int] = set()
+        for node in nodes:
+            if node.node_id in seen:
+                raise PartitionError(f"duplicate node {node.name!r} in partition")
+            seen.add(node.node_id)
+            self._nodes.append(node)
+        if not self._nodes:
+            raise PartitionError("a partition must contain at least one node")
+        self.name = name or f"partition({self._nodes[0].name}...)"
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """The member nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    def aggregate(self) -> CapacityAggregate:
+        """The (cost, rate) aggregate over all member nodes."""
+        total = CapacityAggregate.empty()
+        for node in self._nodes:
+            total = total.merge(node_aggregate(node))
+        return total
+
+    def capacity_ns(self) -> float:
+        """``cap(P) = d(P) - c(P)``, nanoseconds (Section 5.1.2)."""
+        return self.aggregate().capacity_ns
+
+    def is_connected(self, graph: QueryGraph) -> bool:
+        """True if members form one weakly connected subgraph of ``graph``."""
+        members = set(self._nodes)
+        start = self._nodes[0]
+        visited = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            neighbours = [
+                edge.consumer for edge in graph.out_edges(node)
+            ] + [edge.producer for edge in graph.in_edges(node)]
+            for other in neighbours:
+                if other in members and other not in visited:
+                    visited.add(other)
+                    stack.append(other)
+        return len(visited) == len(members)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(node.name for node in self._nodes)
+        return f"<Partition [{names}]>"
+
+
+class Partitioning:
+    """A family of disjoint partitions of (a subset of) a graph's nodes."""
+
+    def __init__(self, partitions: Sequence[Partition]) -> None:
+        self.partitions: List[Partition] = list(partitions)
+        self._owner: Dict[Node, Partition] = {}
+        for partition in self.partitions:
+            for node in partition:
+                if node in self._owner:
+                    raise PartitionError(
+                        f"node {node.name!r} belongs to multiple partitions"
+                    )
+                self._owner[node] = partition
+
+    def partition_of(self, node: Node) -> Partition:
+        """The partition containing ``node``.
+
+        Raises:
+            PartitionError: if ``node`` is unassigned.
+        """
+        try:
+            return self._owner[node]
+        except KeyError:
+            raise PartitionError(f"node {node.name!r} is not partitioned") from None
+
+    def same_partition(self, first: Node, second: Node) -> bool:
+        """True when both nodes are assigned and share a partition."""
+        return (
+            first in self._owner
+            and second in self._owner
+            and self._owner[first] is self._owner[second]
+        )
+
+    def covers(self, nodes: Iterable[Node]) -> bool:
+        """True if every node in ``nodes`` is assigned to a partition."""
+        return all(node in self._owner for node in nodes)
+
+    def validate(self, graph: QueryGraph) -> None:
+        """Check that every partition is weakly connected in ``graph``.
+
+        Disjointness is already enforced at construction.
+
+        Raises:
+            PartitionError: on the first disconnected partition.
+        """
+        for partition in self.partitions:
+            if not partition.is_connected(graph):
+                raise PartitionError(
+                    f"partition {partition.name!r} is not connected in "
+                    f"graph {graph.name!r}"
+                )
+
+    def crossing_edges(self, graph: QueryGraph) -> list:
+        """Edges of ``graph`` whose endpoints lie in different partitions.
+
+        These are exactly the edges where decoupling queues belong.
+        Edges touching unassigned nodes (sinks, existing queues) are not
+        reported.
+        """
+        crossing = []
+        for edge in graph.edges:
+            if edge.producer in self._owner and edge.consumer in self._owner:
+                if self._owner[edge.producer] is not self._owner[edge.consumer]:
+                    crossing.append(edge)
+        return crossing
+
+    def capacities_ns(self) -> list[float]:
+        """``cap(P_i)`` for every partition, in partition order."""
+        return [partition.capacity_ns() for partition in self.partitions]
+
+    def negative_partitions(self) -> list[Partition]:
+        """Partitions violating the ``cap(P) >= 0`` constraint."""
+        return [p for p in self.partitions if p.capacity_ns() < 0]
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)

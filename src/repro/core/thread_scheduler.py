@@ -1,0 +1,201 @@
+"""The level-3 thread scheduler (TS).
+
+Paper Section 4.2.2: "The third level runs multiple second-level units
+concurrently.  Concurrency is managed by a specific high-priority
+thread termed thread scheduler (TS). [...] Our default TS accomplishes
+a preemptive priority-based scheduling strategy.  It determines the
+next thread to be executed so that starvation is prevented.  The
+distribution of the available CPU resources relies on priorities that
+can be adapted during runtime."
+
+CPython threads cannot be preempted from user code, so the real-thread
+TS is *cooperative at batch granularity*: every level-2 worker brackets
+each scheduling batch with :meth:`ThreadScheduler.acquire` /
+:meth:`ThreadScheduler.release`.  The TS grants at most
+``max_concurrency`` permits at a time, always to the waiters with the
+highest *effective* priority.  Starvation prevention uses aging: a
+waiter's effective priority grows with its waiting time, so any unit
+eventually runs no matter how low its base priority.
+
+(The discrete-event simulator implements the genuinely preemptive
+variant — see :mod:`repro.sim.machine` — because simulated time can be
+sliced exactly.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SchedulingError
+
+__all__ = ["ThreadScheduler"]
+
+
+@dataclass
+class _UnitState:
+    priority: float
+    waiting_since_ns: Optional[int] = None
+    running: bool = False
+    grants: int = 0
+    total_wait_ns: int = field(default=0)
+
+
+class ThreadScheduler:
+    """Priority gate for level-2 scheduler threads.
+
+    Args:
+        max_concurrency: How many units may run simultaneously.  The
+            paper's dual-core experiments correspond to 2.  ``None``
+            means unbounded (the TS then only tracks accounting).
+        aging_ns: Waiting time that buys one unit of effective priority;
+            smaller values approach FIFO fairness, larger values
+            approach strict priorities.  Must be positive.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: Optional[int] = None,
+        aging_ns: float = 50_000_000.0,
+    ) -> None:
+        if max_concurrency is not None and max_concurrency < 1:
+            raise SchedulingError("max_concurrency must be >= 1 or None")
+        if aging_ns <= 0:
+            raise SchedulingError("aging_ns must be positive")
+        self._max_concurrency = max_concurrency
+        self._aging_ns = aging_ns
+        self._condition = threading.Condition()
+        self._units: Dict[str, _UnitState] = {}
+        self._running = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Registration and priorities
+    # ------------------------------------------------------------------
+    def register(self, unit_id: str, priority: float = 0.0) -> None:
+        """Register a level-2 unit; higher ``priority`` runs first."""
+        with self._condition:
+            if unit_id in self._units:
+                raise SchedulingError(f"unit {unit_id!r} already registered")
+            self._units[unit_id] = _UnitState(priority=priority)
+
+    def unregister(self, unit_id: str) -> None:
+        """Remove a unit (it must not be running or waiting)."""
+        with self._condition:
+            state = self._require(unit_id)
+            if state.running or state.waiting_since_ns is not None:
+                raise SchedulingError(
+                    f"unit {unit_id!r} is active and cannot be unregistered"
+                )
+            del self._units[unit_id]
+
+    def set_priority(self, unit_id: str, priority: float) -> None:
+        """Adapt a unit's base priority at runtime (Section 4.2.2)."""
+        with self._condition:
+            self._require(unit_id).priority = priority
+            self._condition.notify_all()
+
+    def priority_of(self, unit_id: str) -> float:
+        """The unit's current base priority."""
+        with self._condition:
+            return self._require(unit_id).priority
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def acquire(self, unit_id: str, timeout: float | None = None) -> bool:
+        """Block until ``unit_id`` is granted a run permit.
+
+        Returns False on timeout or scheduler shutdown, True when the
+        permit was granted (pair with :meth:`release`).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            state = self._require(unit_id)
+            if state.running:
+                raise SchedulingError(f"unit {unit_id!r} acquired twice")
+            state.waiting_since_ns = time.monotonic_ns()
+            self._condition.notify_all()
+            while True:
+                if self._stopped:
+                    state.waiting_since_ns = None
+                    return False
+                if self._may_run(unit_id):
+                    waited = time.monotonic_ns() - state.waiting_since_ns
+                    state.total_wait_ns += waited
+                    state.waiting_since_ns = None
+                    state.running = True
+                    state.grants += 1
+                    self._running += 1
+                    return True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        state.waiting_since_ns = None
+                        return False
+                self._condition.wait(remaining)
+
+    def release(self, unit_id: str) -> None:
+        """Return the permit acquired by :meth:`acquire`."""
+        with self._condition:
+            state = self._require(unit_id)
+            if not state.running:
+                raise SchedulingError(f"unit {unit_id!r} released without permit")
+            state.running = False
+            self._running -= 1
+            self._condition.notify_all()
+
+    def stop(self) -> None:
+        """Wake every waiter with a denial; further acquires fail fast."""
+        with self._condition:
+            self._stopped = True
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def grants(self, unit_id: str) -> int:
+        """How many times the unit has been granted a permit."""
+        with self._condition:
+            return self._require(unit_id).grants
+
+    def total_wait_ns(self, unit_id: str) -> int:
+        """Cumulative time the unit spent waiting at the gate."""
+        with self._condition:
+            return self._require(unit_id).total_wait_ns
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _require(self, unit_id: str) -> _UnitState:
+        try:
+            return self._units[unit_id]
+        except KeyError:
+            raise SchedulingError(f"unknown unit {unit_id!r}") from None
+
+    def _effective_priority(self, state: _UnitState, now_ns: int) -> float:
+        if state.waiting_since_ns is None:
+            return state.priority
+        age = (now_ns - state.waiting_since_ns) / self._aging_ns
+        return state.priority + age
+
+    def _may_run(self, unit_id: str) -> bool:
+        if self._max_concurrency is None:
+            return True
+        free = self._max_concurrency - self._running
+        if free <= 0:
+            return False
+        now_ns = time.monotonic_ns()
+        waiters = sorted(
+            (
+                (self._effective_priority(state, now_ns), uid)
+                for uid, state in self._units.items()
+                if state.waiting_since_ns is not None
+            ),
+            reverse=True,
+        )
+        top = {uid for _, uid in waiters[:free]}
+        return unit_id in top

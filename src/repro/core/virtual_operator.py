@@ -1,0 +1,217 @@
+"""Virtual operators (paper Section 3).
+
+"A virtual operator (VO) is a subgraph that consists of at least two
+adjacent operators that do not store intermediate results with queues."
+
+In our push-based substrate a VO needs no code transformation — nodes
+connected without intermediate queues *are* a VO, executed by DI chain
+reactions (Section 3.3: "As operators without intermediate queues use
+DI, they automatically build a VO").  The :class:`VirtualOperator`
+class therefore is a *view*: it identifies the member nodes, their
+entry points (edges arriving from outside the VO) and exits (edges
+leaving it), validates the no-internal-queue invariant, and offers a
+convenience ``process`` that injects an element at an entry and reports
+what left through the exits.  Execution engines use the entry/exit
+structure; interactive use and tests use ``process``.
+
+:func:`build_virtual_operators` derives the VO views implied by a
+graph's current queue placement: the connected components of the graph
+after removing queue nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.dataflow import Dispatcher
+from repro.core.partition import Partition
+from repro.errors import VirtualOperatorError
+from repro.graph.node import Node
+from repro.graph.query_graph import Edge, QueryGraph
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import Sink
+
+__all__ = ["VirtualOperator", "build_virtual_operators"]
+
+
+class VirtualOperator:
+    """A queue-free connected subgraph viewed as a single operator.
+
+    Args:
+        graph: The graph the members belong to.
+        members: The member nodes.  They must be connected, contain at
+            least one node, and contain no decoupling queues.
+        name: Display name.
+
+    Attributes:
+        entries: ``(edge, entry_index)`` ordering of edges that enter
+            the VO from outside (from queues, sources, or other VOs).
+        exits: Edges that leave the VO (to queues, sinks, other VOs).
+    """
+
+    def __init__(
+        self, graph: QueryGraph, members: Sequence[Node], name: str | None = None
+    ) -> None:
+        if not members:
+            raise VirtualOperatorError("a VO needs at least one member node")
+        member_set = set(members)
+        for node in members:
+            if node.is_queue:
+                raise VirtualOperatorError(
+                    f"queue {node.name!r} cannot be part of a VO "
+                    "(VOs 'do not store intermediate results with queues')"
+                )
+            if node.is_sink:
+                raise VirtualOperatorError(
+                    f"sink {node.name!r} cannot be part of a VO"
+                )
+        partition = Partition(members, name=name)
+        if not partition.is_connected(graph):
+            raise VirtualOperatorError(
+                "VO members must form a connected subgraph"
+            )
+        self.graph = graph
+        self.members: Tuple[Node, ...] = tuple(members)
+        self.name = name or f"vo({members[0].name}...)"
+        self._member_set = member_set
+        self.entry_edges: List[Edge] = []
+        self.exit_edges: List[Edge] = []
+        for node in members:
+            for edge in graph.in_edges(node):
+                if edge.producer not in member_set:
+                    self.entry_edges.append(edge)
+            for edge in graph.out_edges(node):
+                if edge.consumer not in member_set:
+                    self.exit_edges.append(edge)
+
+    @property
+    def arity(self) -> int:
+        """Number of entry edges (a VO generalizes an n-ary operator)."""
+        return len(self.entry_edges)
+
+    def capacity_ns(self) -> float:
+        """``cap`` of the member set (Section 5.1.2)."""
+        return Partition(self.members, name=self.name).capacity_ns()
+
+    def contains(self, node: Node) -> bool:
+        """True if ``node`` is a member of this VO."""
+        return node in self._member_set
+
+    def process(
+        self, element: StreamElement, entry: int = 0
+    ) -> List[Tuple[Edge, StreamElement]]:
+        """Run one element through the VO via DI.
+
+        The element enters through ``self.entry_edges[entry]`` and the
+        chain reaction runs inside the VO; anything that would cross an
+        exit edge is captured and returned instead of being delivered
+        downstream.  This gives VOs the look-and-feel of a single
+        operator (Fig. 1) without touching the real graph.
+
+        Note: engines do *not* use this capture mechanism — they let DI
+        run through exits naturally; this method exists for unit-level
+        reasoning about a VO in isolation.
+        """
+        if not self.entry_edges:
+            raise VirtualOperatorError(f"VO {self.name!r} has no entry edges")
+        if not 0 <= entry < len(self.entry_edges):
+            raise VirtualOperatorError(
+                f"entry index {entry} out of range for arity {self.arity}"
+            )
+        captured = _CapturingGraphView(self.graph, self._member_set)
+        dispatcher = Dispatcher(captured)
+        edge = self.entry_edges[entry]
+        dispatcher.inject(edge.consumer, element, edge.port)
+        return captured.captured
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(node.name for node in self.members)
+        return f"<VirtualOperator {self.name!r} [{names}]>"
+
+
+class _CapturingGraphView:
+    """A read-only graph facade that swallows edges leaving a member set.
+
+    Used by :meth:`VirtualOperator.process` so a DI chain reaction stays
+    inside the VO; crossings are recorded with their carrying edge.
+    """
+
+    def __init__(self, graph: QueryGraph, members: set) -> None:
+        self._graph = graph
+        self._members = members
+        self.captured: List[Tuple[Edge, StreamElement]] = []
+        self._capture_sinks: Dict[Edge, Node] = {}
+
+    def out_edges(self, node: Node) -> list[Edge]:
+        edges = []
+        for edge in self._graph.out_edges(node):
+            if edge.consumer in self._members:
+                edges.append(edge)
+            else:
+                edges.append(self._capture_edge(edge))
+        return edges
+
+    def in_edges(self, node: Node) -> list[Edge]:
+        return self._graph.in_edges(node)
+
+    def _capture_edge(self, edge: Edge) -> Edge:
+        sink_node = self._capture_sinks.get(edge)
+        if sink_node is None:
+            # A detached sink node (never added to the real graph) that
+            # records whatever crosses this exit edge.
+            from repro.graph.node import NodeKind
+
+            sink_node = Node(
+                NodeKind.SINK,
+                _RecordingSink(edge, self.captured),
+                name=f"capture({edge})",
+            )
+            self._capture_sinks[edge] = sink_node
+        return Edge(edge.producer, sink_node, edge.port)
+
+
+class _RecordingSink(Sink):
+    """Records (edge, element) pairs crossing a VO exit."""
+
+    def __init__(self, edge: Edge, captured: List[Tuple[Edge, StreamElement]]) -> None:
+        super().__init__(name=f"recording({edge})")
+        self._edge = edge
+        self._captured = captured
+
+    def receive(self, element: StreamElement) -> None:
+        self._captured.append((self._edge, element))
+
+
+def build_virtual_operators(graph: QueryGraph) -> List[VirtualOperator]:
+    """Derive the VOs implied by the graph's current queue placement.
+
+    The VOs are the connected components of the graph restricted to
+    non-queue operator nodes (sources and sinks excluded): within a
+    component, data flows by DI; across components, it crosses a queue,
+    a source boundary, or a sink boundary.
+    """
+    operators = [node for node in graph.operators(include_queues=False)]
+    member_set = set(operators)
+    seen: set[Node] = set()
+    vos: List[VirtualOperator] = []
+    for start in operators:
+        if start in seen:
+            continue
+        component: List[Node] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            neighbours = [e.consumer for e in graph.out_edges(node)] + [
+                e.producer for e in graph.in_edges(node)
+            ]
+            for other in neighbours:
+                if other in member_set and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        component.sort(key=lambda node: node.node_id)
+        vos.append(
+            VirtualOperator(graph, component, name=f"vo-{len(vos)}")
+        )
+    return vos

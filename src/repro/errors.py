@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """A query graph is malformed (cycle, dangling edge, bad arity, ...)."""
+
+
+class GraphCycleError(GraphError):
+    """The query graph contains a cycle; query graphs must be DAGs."""
+
+
+class UnknownNodeError(GraphError):
+    """An operation referenced a node that is not part of the graph."""
+
+
+class PortError(GraphError):
+    """An edge was attached to an input port that is out of range or taken."""
+
+
+class OperatorError(ReproError):
+    """An operator was misused (bad arity, processing after close, ...)."""
+
+
+class PartitionError(ReproError):
+    """A partitioning is invalid (overlap, disconnected partition, ...)."""
+
+
+class PlacementError(ReproError):
+    """Queue placement failed (missing cost/rate metadata, bad input)."""
+
+
+class SchedulingError(ReproError):
+    """An execution engine was misconfigured or driven incorrectly."""
+
+
+class EngineStateError(SchedulingError):
+    """An engine method was called in the wrong lifecycle state."""
+
+
+class PullProcessingError(ReproError):
+    """Pull-based (ONC) processing was used outside its restrictions."""
+
+
+class VirtualOperatorError(ReproError):
+    """Virtual-operator construction failed (e.g. non-tree pull VO)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated threads are blocked and no future event can wake them."""

@@ -1,0 +1,22 @@
+"""Query-graph substrate: nodes, DAGs, fluent builder, random DAGs."""
+
+from repro.graph.builder import QueryBuilder, Stream
+from repro.graph.node import Node, NodeKind, annotated_operator_node
+from repro.graph.query_graph import Edge, QueryGraph, derive_rates
+from repro.graph.random_dags import RandomDagConfig, random_query_dag
+from repro.graph.render import to_dot, to_text
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "annotated_operator_node",
+    "Edge",
+    "QueryGraph",
+    "derive_rates",
+    "QueryBuilder",
+    "Stream",
+    "RandomDagConfig",
+    "random_query_dag",
+    "to_dot",
+    "to_text",
+]

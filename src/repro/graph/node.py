@@ -1,0 +1,181 @@
+"""Query-graph nodes.
+
+Paper Section 2.1: "a query graph is a directed acyclic graph.  Its
+nodes are sources, operators (e.g. selection, join), and sinks; the
+edges between them represent the data flow."
+
+A :class:`Node` wraps one of the three payload kinds and carries the
+annotations the scheduling layers need: measured/declared per-element
+cost ``c(v)`` and input interarrival time ``d(v)`` (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+from repro.operators.base import Operator
+from repro.operators.queue_op import QueueOperator
+from repro.streams.sinks import Sink
+from repro.streams.sources import Source
+
+__all__ = ["Node", "NodeKind", "annotated_operator_node"]
+
+_NODE_IDS = itertools.count()
+
+
+class NodeKind(enum.Enum):
+    """What a graph node is: a data producer, a processor, or a consumer."""
+
+    SOURCE = "source"
+    OPERATOR = "operator"
+    SINK = "sink"
+
+
+class Node:
+    """One vertex of a query graph.
+
+    Attributes:
+        kind: Source, operator, or sink.
+        payload: The wrapped :class:`Source`, :class:`Operator`, or
+            :class:`Sink` object (may be None for annotation-only nodes
+            used by partitioning studies on synthetic DAGs).
+        name: Display name; defaults to the payload's name.
+        cost_ns: The average per-element processing time ``c(v)`` in
+            nanoseconds.  Falls back to the operator's declared cost.
+        interarrival_ns: The average interarrival time ``d(v)`` of the
+            node's inputs, in nanoseconds; usually derived by rate
+            propagation (:func:`repro.graph.query_graph.derive_rates`).
+        selectivity: Output/input ratio used for rate propagation;
+            falls back to the operator's declared selectivity.
+    """
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        payload: Optional[Source | Operator | Sink] = None,
+        name: str | None = None,
+        cost_ns: float | None = None,
+        interarrival_ns: float | None = None,
+        selectivity: float | None = None,
+    ) -> None:
+        self.node_id = next(_NODE_IDS)
+        self.kind = kind
+        self.payload = payload
+        self.name = name or getattr(payload, "name", None) or f"{kind.value}-{self.node_id}"
+        self._cost_ns = cost_ns
+        self.interarrival_ns = interarrival_ns
+        self._selectivity = selectivity
+
+    # ------------------------------------------------------------------
+    # Annotation accessors with payload fallbacks
+    # ------------------------------------------------------------------
+    @property
+    def cost_ns(self) -> float | None:
+        """Per-element processing cost ``c(v)`` in nanoseconds."""
+        if self._cost_ns is not None:
+            return self._cost_ns
+        if isinstance(self.payload, Operator):
+            return self.payload.declared_cost_ns
+        return None
+
+    @cost_ns.setter
+    def cost_ns(self, value: float | None) -> None:
+        self._cost_ns = value
+
+    @property
+    def selectivity(self) -> float | None:
+        """Output/input ratio of the node (1.0 for sources if unset)."""
+        if self._selectivity is not None:
+            return self._selectivity
+        if isinstance(self.payload, Operator):
+            return self.payload.declared_selectivity
+        return None
+
+    @selectivity.setter
+    def selectivity(self, value: float | None) -> None:
+        self._selectivity = value
+
+    # ------------------------------------------------------------------
+    # Kind predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_source(self) -> bool:
+        """True for data-producing nodes."""
+        return self.kind is NodeKind.SOURCE
+
+    @property
+    def is_sink(self) -> bool:
+        """True for data-consuming terminal nodes."""
+        return self.kind is NodeKind.SINK
+
+    @property
+    def is_operator(self) -> bool:
+        """True for processing nodes (including queues)."""
+        return self.kind is NodeKind.OPERATOR
+
+    @property
+    def is_queue(self) -> bool:
+        """True when the node is a decoupling queue (paper Section 2.4)."""
+        return isinstance(self.payload, QueueOperator)
+
+    @property
+    def operator(self) -> Operator:
+        """The wrapped operator; raises for non-operator nodes."""
+        if not isinstance(self.payload, Operator):
+            raise TypeError(f"node {self.name!r} does not wrap an operator")
+        return self.payload
+
+    @property
+    def arity(self) -> int:
+        """Number of input ports (0 for sources, 1 for sinks by default)."""
+        if self.is_source:
+            return 0
+        if isinstance(self.payload, Operator):
+            return self.payload.arity
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node #{self.node_id} {self.kind.value} {self.name!r}>"
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def annotated_operator_node(
+    name: str,
+    cost_ns: float,
+    selectivity: float = 1.0,
+    arity: int = 1,
+) -> Node:
+    """Create an annotation-only operator node (no processing kernel).
+
+    Used by partitioning studies (Fig. 11) that only need ``c(v)`` /
+    ``d(v)`` metadata, not executable operators.
+    """
+
+    class _Annotation(Operator):
+        def __init__(self) -> None:
+            super().__init__(
+                name=name,
+                declared_cost_ns=cost_ns,
+                declared_selectivity=selectivity,
+            )
+            self.arity = arity
+
+        def process(self, element: Any, port: int = 0) -> list:
+            raise NotImplementedError(
+                f"annotation-only node {name!r} cannot process elements"
+            )
+
+    return Node(
+        NodeKind.OPERATOR,
+        payload=_Annotation(),
+        name=name,
+        cost_ns=cost_ns,
+        selectivity=selectivity,
+    )

@@ -1,0 +1,414 @@
+"""The query graph: a DAG of sources, operators, and sinks.
+
+This is the level-1 substrate of the HMTS architecture.  The graph
+supports the operations the paper's machinery needs:
+
+* structural queries (successors, predecessors, topological order),
+* validation (acyclicity, port occupancy),
+* *queue splicing*: inserting or removing a decoupling
+  :class:`~repro.operators.queue_op.QueueOperator` on an edge at any
+  time (paper Section 5.1.3: "Inserting and removing queues can be done
+  during runtime"),
+* rate propagation: deriving each operator's input interarrival time
+  ``d(v)`` from the source rates and operator selectivities, which is
+  the metadata the placement heuristic consumes (Section 5.1.2).
+
+Edges target a specific *input port* of the consumer, so binary joins
+distinguish their left and right inputs.  An input port accepts exactly
+one producer; an output may fan out to any number of consumers, which
+is how subquery sharing (Fig. 1) is expressed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import (
+    GraphCycleError,
+    GraphError,
+    PortError,
+    UnknownNodeError,
+)
+from repro.graph.node import Node, NodeKind
+from repro.operators.base import Operator
+from repro.operators.queue_op import QueueOperator
+from repro.streams.sinks import Sink
+from repro.streams.sources import Source
+
+__all__ = ["Edge", "QueryGraph", "derive_rates"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed data-flow edge into ``consumer``'s input ``port``."""
+
+    producer: Node
+    consumer: Node
+    port: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.producer.name} -> {self.consumer.name}[{self.port}]"
+
+
+class QueryGraph:
+    """A directed acyclic query graph (paper Section 2.1)."""
+
+    def __init__(self, name: str = "query-graph") -> None:
+        self.name = name
+        self._nodes: list[Node] = []
+        self._out: Dict[Node, List[Edge]] = {}
+        self._in: Dict[Node, Dict[int, Edge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add a prepared node; returns it for chaining."""
+        if node in self._out:
+            raise GraphError(f"node {node.name!r} already in graph")
+        self._nodes.append(node)
+        self._out[node] = []
+        self._in[node] = {}
+        return node
+
+    def add_source(self, source: Source, name: str | None = None) -> Node:
+        """Wrap ``source`` in a node and add it."""
+        return self.add_node(Node(NodeKind.SOURCE, source, name=name))
+
+    def add_operator(self, operator: Operator, name: str | None = None) -> Node:
+        """Wrap ``operator`` in a node and add it."""
+        return self.add_node(Node(NodeKind.OPERATOR, operator, name=name))
+
+    def add_sink(self, sink: Sink, name: str | None = None) -> Node:
+        """Wrap ``sink`` in a node and add it."""
+        return self.add_node(Node(NodeKind.SINK, sink, name=name))
+
+    def connect(self, producer: Node, consumer: Node, port: int = 0) -> Edge:
+        """Add a data-flow edge from ``producer`` to ``consumer[port]``.
+
+        Raises:
+            UnknownNodeError: A node is not part of this graph.
+            PortError: The port is out of range or already connected.
+            GraphError: The edge endpoints have the wrong kinds.
+            GraphCycleError: The edge would create a cycle.
+        """
+        for node in (producer, consumer):
+            if node not in self._out:
+                raise UnknownNodeError(f"node {node.name!r} not in graph")
+        if producer.is_sink:
+            raise GraphError(f"sink {producer.name!r} cannot produce data")
+        if consumer.is_source:
+            raise GraphError(f"source {consumer.name!r} cannot consume data")
+        if not 0 <= port < consumer.arity:
+            raise PortError(
+                f"{consumer.name!r} has no input port {port} "
+                f"(arity {consumer.arity})"
+            )
+        if port in self._in[consumer]:
+            raise PortError(
+                f"input port {port} of {consumer.name!r} already connected"
+            )
+        if self._reaches(consumer, producer):
+            raise GraphCycleError(
+                f"edge {producer.name!r} -> {consumer.name!r} would create a cycle"
+            )
+        edge = Edge(producer, consumer, port)
+        self._out[producer].append(edge)
+        self._in[consumer][port] = edge
+        return edge
+
+    def disconnect(self, edge: Edge) -> None:
+        """Remove an existing edge."""
+        try:
+            self._out[edge.producer].remove(edge)
+        except (KeyError, ValueError):
+            raise UnknownNodeError(f"edge {edge!r} not in graph") from None
+        del self._in[edge.consumer][edge.port]
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all its edges."""
+        if node not in self._out:
+            raise UnknownNodeError(f"node {node.name!r} not in graph")
+        for edge in list(self._out[node]):
+            self.disconnect(edge)
+        for edge in list(self._in[node].values()):
+            self.disconnect(edge)
+        del self._out[node]
+        del self._in[node]
+        self._nodes.remove(node)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """All edges."""
+        return tuple(
+            edge for edges in self._out.values() for edge in edges
+        )
+
+    def sources(self) -> list[Node]:
+        """All source nodes."""
+        return [node for node in self._nodes if node.is_source]
+
+    def sinks(self) -> list[Node]:
+        """All sink nodes."""
+        return [node for node in self._nodes if node.is_sink]
+
+    def operators(self, include_queues: bool = True) -> list[Node]:
+        """All operator nodes, optionally excluding decoupling queues."""
+        return [
+            node
+            for node in self._nodes
+            if node.is_operator and (include_queues or not node.is_queue)
+        ]
+
+    def queues(self) -> list[Node]:
+        """All decoupling-queue nodes."""
+        return [node for node in self._nodes if node.is_queue]
+
+    def out_edges(self, node: Node) -> list[Edge]:
+        """Edges leaving ``node``."""
+        self._require(node)
+        return list(self._out[node])
+
+    def in_edges(self, node: Node) -> list[Edge]:
+        """Edges entering ``node``, ordered by port."""
+        self._require(node)
+        return [self._in[node][port] for port in sorted(self._in[node])]
+
+    def successors(self, node: Node) -> list[Node]:
+        """Distinct consumer nodes downstream of ``node``."""
+        seen: list[Node] = []
+        for edge in self.out_edges(node):
+            if edge.consumer not in seen:
+                seen.append(edge.consumer)
+        return seen
+
+    def predecessors(self, node: Node) -> list[Node]:
+        """Distinct producer nodes upstream of ``node``."""
+        seen: list[Node] = []
+        for edge in self.in_edges(node):
+            if edge.producer not in seen:
+                seen.append(edge.producer)
+        return seen
+
+    def find_edge(self, producer: Node, consumer: Node, port: int | None = None) -> Edge:
+        """Locate the edge from ``producer`` to ``consumer`` (and port)."""
+        for edge in self.out_edges(producer):
+            if edge.consumer is consumer and (port is None or edge.port == port):
+                return edge
+        raise UnknownNodeError(
+            f"no edge {producer.name!r} -> {consumer.name!r}"
+            + (f"[{port}]" if port is not None else "")
+        )
+
+    def topological_order(self) -> list[Node]:
+        """Nodes in a topological order (sources first).
+
+        Raises:
+            GraphCycleError: if the graph contains a cycle (cannot
+                normally happen; :meth:`connect` rejects cycles).
+        """
+        in_degree = {node: len(self._in[node]) for node in self._nodes}
+        ready = deque(node for node in self._nodes if in_degree[node] == 0)
+        order: list[Node] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            for edge in self._out[node]:
+                in_degree[edge.consumer] -= 1
+                if in_degree[edge.consumer] == 0:
+                    ready.append(edge.consumer)
+        if len(order) != len(self._nodes):
+            raise GraphCycleError("graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        * every input port of every operator/sink is connected,
+        * every source has at least one consumer,
+        * the graph is acyclic.
+
+        Raises:
+            GraphError: on the first violation found.
+        """
+        self.topological_order()
+        for node in self._nodes:
+            if node.is_source:
+                if not self._out[node]:
+                    raise GraphError(f"source {node.name!r} has no consumer")
+                continue
+            expected = node.arity
+            connected = set(self._in[node])
+            missing = [port for port in range(expected) if port not in connected]
+            if missing:
+                raise GraphError(
+                    f"node {node.name!r} has unconnected input ports {missing}"
+                )
+            if node.is_operator and not self._out[node]:
+                raise GraphError(
+                    f"operator {node.name!r} has no consumer; "
+                    "every operator output must reach a sink"
+                )
+
+    # ------------------------------------------------------------------
+    # Queue splicing (decoupling points, paper Sections 2.4 / 5.1.3)
+    # ------------------------------------------------------------------
+    def insert_queue(self, edge: Edge, name: str | None = None) -> Node:
+        """Splice a decoupling queue onto ``edge``.
+
+        The edge ``producer -> consumer[port]`` becomes
+        ``producer -> queue[0]`` and ``queue -> consumer[port]``.
+        Returns the new queue node.
+        """
+        queue_name = name or f"queue({edge.producer.name}->{edge.consumer.name})"
+        queue_node = Node(NodeKind.OPERATOR, QueueOperator(name=queue_name))
+        self.disconnect(edge)
+        self.add_node(queue_node)
+        self.connect(edge.producer, queue_node, 0)
+        self.connect(queue_node, edge.consumer, edge.port)
+        return queue_node
+
+    def remove_queue(self, queue_node: Node) -> Edge:
+        """Splice out a decoupling queue, reconnecting its neighbours.
+
+        The queue must be empty — a scheduler must drain it first
+        ("to remove a queue all remaining elements in the queue must be
+        entirely processed before", Section 5.1.3).
+
+        Returns the restored direct edge.
+        """
+        if not queue_node.is_queue:
+            raise GraphError(f"{queue_node.name!r} is not a queue node")
+        queue_op = queue_node.payload
+        assert isinstance(queue_op, QueueOperator)
+        if len(queue_op) > 0:
+            raise GraphError(
+                f"queue {queue_node.name!r} still buffers {len(queue_op)} "
+                "items; drain it before removal"
+            )
+        in_edges = self.in_edges(queue_node)
+        out_edges = self.out_edges(queue_node)
+        if len(in_edges) != 1 or len(out_edges) != 1:
+            raise GraphError(
+                f"queue {queue_node.name!r} must have exactly one producer "
+                "and one consumer"
+            )
+        producer = in_edges[0].producer
+        consumer, port = out_edges[0].consumer, out_edges[0].port
+        self.remove_node(queue_node)
+        return self.connect(producer, consumer, port)
+
+    def decouple_all(self) -> list[Node]:
+        """Insert a queue on every operator-to-operator edge.
+
+        This produces the fully decoupled graph that the GTS and OTS
+        configurations of the paper's experiments use ("all operators
+        were decoupled", Section 6.4).  Edges into sinks and edges that
+        already have a queue endpoint are left alone.
+
+        Returns the new queue nodes.
+        """
+        inserted = []
+        for edge in list(self.edges):
+            if edge.producer.is_queue or edge.consumer.is_queue:
+                continue
+            if edge.consumer.is_sink:
+                continue
+            inserted.append(self.insert_queue(edge))
+        return inserted
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require(self, node: Node) -> None:
+        if node not in self._out:
+            raise UnknownNodeError(f"node {node.name!r} not in graph")
+
+    def _reaches(self, start: Node, target: Node) -> bool:
+        """True if ``target`` is reachable from ``start`` along edges."""
+        if start is target:
+            return True
+        stack = [start]
+        visited = {start}
+        while stack:
+            node = stack.pop()
+            for edge in self._out.get(node, ()):
+                nxt = edge.consumer
+                if nxt is target:
+                    return True
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+
+def derive_rates(
+    graph: QueryGraph,
+    source_rates: Optional[Dict[Node, float]] = None,
+    default_selectivity: float = 1.0,
+) -> Dict[Node, float]:
+    """Propagate input rates through the graph; annotate ``d(v)``.
+
+    For each operator node ``v``, the input rate is the sum of its
+    producers' output rates; the output rate is the input rate times the
+    node's selectivity.  ``d(v)`` — the node's ``interarrival_ns``
+    annotation — is set to the reciprocal of the input rate (paper
+    Section 5.1.2).
+
+    Args:
+        graph: The query graph to annotate.
+        source_rates: Elements/second per source node.  Sources omitted
+            here fall back to a ``rate_per_second`` attribute on their
+            payload; missing both is an error.
+        default_selectivity: Used for nodes without a selectivity
+            annotation.
+
+    Returns:
+        The map node -> input rate (elements/second).  Source nodes map
+        to their output rate.
+    """
+    source_rates = source_rates or {}
+    output_rate: Dict[Node, float] = {}
+    input_rate: Dict[Node, float] = {}
+    for node in graph.topological_order():
+        if node.is_source:
+            rate = source_rates.get(node)
+            if rate is None:
+                rate = getattr(node.payload, "rate_per_second", None)
+            if rate is None:
+                raise GraphError(
+                    f"no rate known for source {node.name!r}; pass source_rates"
+                )
+            output_rate[node] = float(rate)
+            input_rate[node] = float(rate)
+            continue
+        incoming = sum(output_rate[edge.producer] for edge in graph.in_edges(node))
+        input_rate[node] = incoming
+        if node.is_operator:
+            selectivity = node.selectivity
+            if selectivity is None:
+                selectivity = default_selectivity
+            output_rate[node] = incoming * selectivity
+            node.interarrival_ns = (
+                1e9 / incoming if incoming > 0 else float("inf")
+            )
+    return input_rate

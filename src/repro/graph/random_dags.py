@@ -1,0 +1,141 @@
+"""Random annotated query DAGs.
+
+The VO-construction experiment (paper Section 6.7, Fig. 11) runs the
+three partitioning algorithms "on random DAGs, varying the number of
+nodes from 10 to 1000".  This module generates such graphs: random
+acyclic operator topologies whose nodes carry cost and selectivity
+annotations, with source rates chosen so that the derived capacities
+span both comfortable and overloaded operators.
+
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graph.node import Node, annotated_operator_node
+from repro.graph.query_graph import QueryGraph, derive_rates
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ConstantRateSource
+
+__all__ = ["RandomDagConfig", "random_query_dag"]
+
+
+@dataclass(frozen=True)
+class RandomDagConfig:
+    """Parameters of the random-DAG generator.
+
+    Attributes:
+        n_operators: Number of operator nodes (the paper's x-axis).
+        seed: RNG seed; every value generates a unique, replayable graph.
+        source_fraction: Sources per operator (e.g. 0.1 => one source per
+            ten operators, at least one).
+        binary_probability: Chance that an operator has two inputs.
+        chain_bias: Probability that an operator extends a dangling
+            chain tip instead of branching off an arbitrary earlier
+            node.  Real query graphs are chain-rich (pipelines of unary
+            operators with occasional joins and shared subqueries), and
+            the VO-construction comparison is only meaningful when
+            chains long enough to merge exist.
+        min_rate, max_rate: Source rates, elements/second (log-uniform).
+        min_cost_ns, max_cost_ns: Operator costs (log-uniform), chosen so
+            that merging a whole chain typically overruns the input
+            interarrival time — the interesting case for stall-avoiding
+            placement.
+        min_selectivity, max_selectivity: Uniform selectivity range.
+    """
+
+    n_operators: int
+    seed: int = 0
+    source_fraction: float = 0.1
+    binary_probability: float = 0.15
+    chain_bias: float = 0.75
+    min_rate: float = 100.0
+    max_rate: float = 2_000.0
+    min_cost_ns: float = 10_000.0
+    max_cost_ns: float = 1_000_000.0
+    min_selectivity: float = 0.5
+    max_selectivity: float = 1.0
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    """Sample log-uniformly from ``[low, high]``."""
+    return math.exp(rng.uniform(math.log(low), math.log(high)))
+
+
+def random_query_dag(config: RandomDagConfig) -> QueryGraph:
+    """Generate a random annotated query DAG.
+
+    The graph contains ``config.n_operators`` annotation-only operator
+    nodes (cost + selectivity, no kernels), a proportional number of
+    constant-rate sources, and one counting sink per leaf operator so the
+    graph validates.  Operator ``interarrival_ns`` annotations (``d(v)``)
+    are derived by rate propagation before returning.
+
+    Returns:
+        A validated :class:`QueryGraph`.
+    """
+    if config.n_operators < 1:
+        raise ValueError("n_operators must be >= 1")
+    rng = random.Random(config.seed)
+    graph = QueryGraph(name=f"random-dag(n={config.n_operators},seed={config.seed})")
+
+    n_sources = max(1, round(config.n_operators * config.source_fraction))
+    source_nodes: list[Node] = []
+    for index in range(n_sources):
+        rate = _log_uniform(rng, config.min_rate, config.max_rate)
+        source = ConstantRateSource(
+            count=0, rate_per_second=rate, name=f"src-{index}"
+        )
+        source_nodes.append(graph.add_source(source))
+
+    # Operators are created in topological order; each picks its inputs
+    # among earlier nodes, which guarantees acyclicity.  With
+    # probability ``chain_bias`` the primary input is a dangling chain
+    # tip (a node without consumers yet), producing the long unary
+    # pipelines typical of continuous queries.
+    candidates: list[Node] = list(source_nodes)
+    open_tips: list[Node] = list(source_nodes)
+    operator_nodes: list[Node] = []
+    for index in range(config.n_operators):
+        arity = (
+            2
+            if rng.random() < config.binary_probability and len(candidates) >= 2
+            else 1
+        )
+        cost = _log_uniform(rng, config.min_cost_ns, config.max_cost_ns)
+        selectivity = rng.uniform(config.min_selectivity, config.max_selectivity)
+        node = annotated_operator_node(
+            name=f"op-{index}", cost_ns=cost, selectivity=selectivity, arity=arity
+        )
+        graph.add_node(node)
+        parents: list[Node] = []
+        if open_tips and rng.random() < config.chain_bias:
+            parents.append(rng.choice(open_tips))
+        else:
+            parents.append(rng.choice(candidates))
+        while len(parents) < arity:
+            extra = rng.choice(candidates)
+            if extra not in parents:
+                parents.append(extra)
+        for port, parent in enumerate(parents):
+            graph.connect(parent, node, port)
+            if parent in open_tips:
+                open_tips.remove(parent)
+        candidates.append(node)
+        open_tips.append(node)
+        operator_nodes.append(node)
+
+    # Terminate every childless operator (and source, for tiny graphs)
+    # in a sink so the graph validates.
+    for node in source_nodes + operator_nodes:
+        if not graph.out_edges(node):
+            sink = graph.add_sink(CountingSink(name=f"sink-of-{node.name}"))
+            graph.connect(node, sink, 0)
+
+    derive_rates(graph)
+    graph.validate()
+    return graph

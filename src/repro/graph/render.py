@@ -1,0 +1,139 @@
+"""Query-graph rendering: Graphviz DOT and plain-text output.
+
+Debugging a partitioning is much easier when you can *see* where the
+queues sit and which operators share a VO.  :func:`to_dot` emits a
+Graphviz description (queues as rectangles, VOs as clusters, capacity
+annotations on demand); :func:`to_text` produces an indented plain-text
+listing for terminals and test output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+
+
+def _build_vos(graph: QueryGraph):
+    # Imported lazily: repro.core depends on repro.graph, so a
+    # module-level import here would be circular.
+    from repro.core.virtual_operator import build_virtual_operators
+
+    return build_virtual_operators(graph)
+
+__all__ = ["to_dot", "to_text"]
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_label(node: Node, show_annotations: bool) -> str:
+    label = node.name
+    if show_annotations and node.is_operator and not node.is_queue:
+        parts = []
+        if node.cost_ns is not None:
+            parts.append(f"c={node.cost_ns:g}ns")
+        if node.selectivity is not None:
+            parts.append(f"s={node.selectivity:g}")
+        if node.interarrival_ns is not None:
+            parts.append(f"d={node.interarrival_ns:g}ns")
+        if parts:
+            label += "\\n" + " ".join(parts)
+    return _dot_escape(label)
+
+
+def to_dot(
+    graph: QueryGraph,
+    cluster_vos: bool = True,
+    show_annotations: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render the graph as Graphviz DOT.
+
+    Args:
+        graph: The query graph.
+        cluster_vos: Draw each virtual operator (queue-free component)
+            as a cluster, with its capacity in the cluster label when
+            annotations permit computing it.
+        show_annotations: Include c(v)/s(v)/d(v) in node labels.
+        title: Optional graph label.
+    """
+    lines: List[str] = ["digraph query {", "  rankdir=BT;"]
+    if title:
+        lines.append(f'  label="{_dot_escape(title)}";')
+
+    def node_id(node: Node) -> str:
+        return f"n{node.node_id}"
+
+    shapes = {"source": "invtriangle", "sink": "triangle"}
+    emitted: set[int] = set()
+
+    def emit_node(node: Node, indent: str = "  ") -> None:
+        if node.node_id in emitted:
+            return
+        emitted.add(node.node_id)
+        if node.is_queue:
+            shape, style = "box", ', style=filled, fillcolor="#f2d7a0"'
+        elif node.is_source or node.is_sink:
+            shape, style = shapes[node.kind.value], ""
+        else:
+            shape, style = "ellipse", ""
+        lines.append(
+            f'{indent}{node_id(node)} [label="'
+            f'{_node_label(node, show_annotations)}", shape={shape}{style}];'
+        )
+
+    if cluster_vos:
+        for index, vo in enumerate(_build_vos(graph)):
+            lines.append(f"  subgraph cluster_vo{index} {{")
+            label = f"VO {index}"
+            try:
+                label += f" (cap={vo.capacity_ns() / 1e3:.1f}us)"
+            except Exception:  # annotations missing: plain label
+                pass
+            lines.append(f'    label="{_dot_escape(label)}";')
+            lines.append('    style=dashed; color="#888888";')
+            for member in vo.members:
+                emit_node(member, indent="    ")
+            lines.append("  }")
+    for node in graph.nodes:
+        emit_node(node)
+    for edge in graph.edges:
+        lines.append(
+            f"  {node_id(edge.producer)} -> {node_id(edge.consumer)}"
+            f' [label="{edge.port}"];'
+            if edge.consumer.arity > 1
+            else f"  {node_id(edge.producer)} -> {node_id(edge.consumer)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(graph: QueryGraph, show_annotations: bool = True) -> str:
+    """An indented plain-text rendering, one line per node.
+
+    Nodes appear in topological order; each line shows the node's kind,
+    name, annotations, and its consumers.
+    """
+    lines: List[str] = [f"query graph {graph.name!r}:"]
+    vo_of: Dict[Node, int] = {}
+    for index, vo in enumerate(_build_vos(graph)):
+        for member in vo.members:
+            vo_of[member] = index
+    for node in graph.topological_order():
+        kind = "queue" if node.is_queue else node.kind.value
+        parts = [f"  [{kind:8s}] {node.name}"]
+        if node in vo_of:
+            parts.append(f"(vo {vo_of[node]})")
+        if show_annotations and node.is_operator and not node.is_queue:
+            if node.cost_ns is not None:
+                parts.append(f"c={node.cost_ns:g}ns")
+            if node.selectivity is not None:
+                parts.append(f"s={node.selectivity:g}")
+        consumers = [edge.consumer.name for edge in graph.out_edges(node)]
+        if consumers:
+            parts.append("-> " + ", ".join(consumers))
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

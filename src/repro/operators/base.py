@@ -1,0 +1,152 @@
+"""The push-based operator protocol (paper Sections 2.3-2.4).
+
+A push-based operator "receives each element delivered by one of its
+sources, processes it, and delivers the results to its sinks".  We
+separate the *processing kernel* from the *delivery mechanism*: an
+:class:`Operator` is a pure-ish kernel whose :meth:`Operator.process`
+returns the produced elements, and execution engines decide how those
+results travel onward — a direct call into the successor (direct
+interoperability, DI), an enqueue into a decoupling queue, or a
+simulated-time event.  This separation is what lets the same operator
+implementations run under DI, GTS, OTS and HMTS, under the pull-based
+adapters, and inside the discrete-event simulator.
+
+End-of-stream handling follows Section 2.2: the engine feeds the
+END_OF_STREAM punctuation per input port via :meth:`Operator.end_port`;
+once every port has ended the operator flushes (e.g. a windowed
+aggregate emits its final window) and is closed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import OperatorError
+from repro.streams.elements import StreamElement
+
+__all__ = ["Operator", "StatelessOperator"]
+
+
+class Operator:
+    """Base class for push-based processing kernels.
+
+    Attributes:
+        arity: Number of input ports (1 for unary operators, 2 for
+            binary joins, n for unions).
+        name: Display name used by graphs and experiment reports.
+        declared_cost_ns: Optional nominal per-element processing cost
+            in nanoseconds.  Consumed by the queue-placement heuristic
+            (as ``c(v)``) and by the simulator's cost model when no
+            runtime measurements are available.
+        declared_selectivity: Optional nominal output/input ratio,
+            consumed by rate propagation (for ``d(v)`` of successors)
+            and by the Chain strategy's progress charts.
+    """
+
+    arity: int = 1
+
+    def __init__(
+        self,
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+        declared_selectivity: float | None = None,
+    ) -> None:
+        self.name = name or type(self).__name__
+        self.declared_cost_ns = declared_cost_ns
+        self.declared_selectivity = declared_selectivity
+        self._ended_ports: set[int] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Processing protocol
+    # ------------------------------------------------------------------
+    def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
+        """Process one element arriving on ``port``; return the outputs.
+
+        Engines must not call this after the operator is closed or on a
+        port that has already ended.
+        """
+        raise NotImplementedError
+
+    def flush(self) -> List[StreamElement]:
+        """Emit any pending state when the last input ends.
+
+        Stateless operators have nothing to flush; windowed operators
+        may emit a final result here.
+        """
+        return []
+
+    def end_port(self, port: int = 0) -> List[StreamElement]:
+        """Signal END_OF_STREAM on ``port``.
+
+        Returns flush output if this was the last open port, in which
+        case the operator becomes closed.  Engines propagate the
+        end-of-stream punctuation to successors *after* delivering the
+        returned elements.
+        """
+        self._check_port(port)
+        if self._closed:
+            raise OperatorError(f"{self.name}: end_port() after close")
+        if port in self._ended_ports:
+            raise OperatorError(f"{self.name}: port {port} ended twice")
+        self._ended_ports.add(port)
+        if len(self._ended_ports) == self.arity:
+            self._closed = True
+            return self.flush()
+        return []
+
+    @property
+    def closed(self) -> bool:
+        """True once every input port has ended."""
+        return self._closed
+
+    def reset(self) -> None:
+        """Clear all processing state so the operator can be replayed.
+
+        Subclasses with state must extend this.
+        """
+        self._ended_ports.clear()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection used by schedulers and the placement heuristic
+    # ------------------------------------------------------------------
+    def state_size(self) -> int:
+        """Number of elements retained in operator state (0 if stateless).
+
+        The simulator uses this to charge state-dependent costs (the
+        nested-loops join's probe cost grows with the opposite window).
+        """
+        return 0
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.arity:
+            raise OperatorError(
+                f"{self.name}: port {port} out of range for arity {self.arity}"
+            )
+
+    def _guard(self, port: int) -> None:
+        self._check_port(port)
+        if self._closed:
+            raise OperatorError(f"{self.name}: process() after close")
+        if port in self._ended_ports:
+            raise OperatorError(f"{self.name}: process() on ended port {port}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StatelessOperator(Operator):
+    """Convenience base for unary stateless operators.
+
+    Subclasses implement :meth:`apply`, mapping one element to zero or
+    more output elements.
+    """
+
+    def apply(self, element: StreamElement) -> Iterable[StreamElement]:
+        """Map one input element to its outputs."""
+        raise NotImplementedError
+
+    def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
+        self._guard(port)
+        return list(self.apply(element))

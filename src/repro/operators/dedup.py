@@ -1,0 +1,97 @@
+"""Duplicate elimination over sliding windows.
+
+A standard DSMS operator: suppress elements whose key was already seen
+within the window.  Useful both as a realistic workload component
+(sensor streams repeat readings) and as a second kind of *stateful
+unary* operator for scheduling studies — unlike a selection its cost
+and selectivity depend on the data distribution, which is exactly the
+situation the runtime statistics of Section 5.1.3 exist for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List
+
+from repro.operators.base import Operator
+from repro.streams.elements import StreamElement
+
+__all__ = ["WindowedDistinct"]
+
+
+class WindowedDistinct(Operator):
+    """Forward an element only if its key is new within the window.
+
+    A key's suppression window is *refreshed* by every sighting
+    (duplicates keep suppressing later duplicates), matching the usual
+    "at most one per key per window of silence" semantics.
+
+    Args:
+        window_ns: How long a key suppresses duplicates.
+        key_fn: Key extractor over payloads; defaults to the payload.
+    """
+
+    def __init__(
+        self,
+        window_ns: int,
+        key_fn: Callable[[Any], Any] | None = None,
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+        declared_selectivity: float | None = None,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        super().__init__(
+            name=name or "distinct",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=declared_selectivity,
+        )
+        self.window_ns = window_ns
+        self._key_fn = key_fn or (lambda value: value)
+        # Last-seen timestamp per key, plus an expiry queue so state
+        # stays proportional to the number of in-window sightings.
+        self._last_seen: Dict[Any, int] = {}
+        self._expiry: Deque[tuple[int, Any]] = deque()
+        #: Elements suppressed / forwarded so far (measured selectivity).
+        self.suppressed = 0
+        self.forwarded = 0
+
+    def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
+        self._guard(port)
+        now = element.timestamp
+        self._expire(now)
+        key = self._key_fn(element.value)
+        last = self._last_seen.get(key)
+        self._last_seen[key] = now
+        self._expiry.append((now, key))
+        if last is not None and now - last < self.window_ns:
+            self.suppressed += 1
+            return []
+        self.forwarded += 1
+        return [element]
+
+    def _expire(self, now_ns: int) -> None:
+        cutoff = now_ns - self.window_ns
+        while self._expiry and self._expiry[0][0] <= cutoff:
+            seen_at, key = self._expiry.popleft()
+            # Only drop the key if this was its most recent sighting.
+            if self._last_seen.get(key) == seen_at:
+                del self._last_seen[key]
+
+    def state_size(self) -> int:
+        return len(self._last_seen)
+
+    @property
+    def measured_selectivity(self) -> float | None:
+        """Observed pass ratio so far (None before any element)."""
+        total = self.suppressed + self.forwarded
+        if total == 0:
+            return None
+        return self.forwarded / total
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_seen.clear()
+        self._expiry.clear()
+        self.suppressed = 0
+        self.forwarded = 0

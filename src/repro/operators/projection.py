@@ -1,0 +1,87 @@
+"""Projection and map operators.
+
+A projection transforms each element's payload (classically: keeps a
+subset of attributes); a map is the general one-in/one-out transform; a
+flat-map may produce several outputs per input.  All are stateless unary
+operators with selectivity 1 (projection/map) or user-determined
+(flat-map).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.operators.base import StatelessOperator
+from repro.streams.elements import StreamElement
+
+__all__ = ["Projection", "MapOperator", "FlatMapOperator"]
+
+
+class MapOperator(StatelessOperator):
+    """Apply ``fn`` to every payload; one output per input."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+    ) -> None:
+        super().__init__(
+            name=name or "map",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=1.0,
+        )
+        self._fn = fn
+
+    def apply(self, element: StreamElement) -> Iterable[StreamElement]:
+        yield element.with_value(self._fn(element.value))
+
+
+class Projection(MapOperator):
+    """Keep a subset of attributes of mapping- or sequence-payloads.
+
+    Args:
+        attributes: For dict payloads, the keys to keep; for
+            tuple/list payloads, the integer positions to keep.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[Any],
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+    ) -> None:
+        self.attributes = tuple(attributes)
+
+        def project(value: Any) -> Any:
+            if isinstance(value, Mapping):
+                return {key: value[key] for key in self.attributes}
+            return tuple(value[position] for position in self.attributes)
+
+        super().__init__(
+            project,
+            name=name or f"projection{self.attributes!r}",
+            declared_cost_ns=declared_cost_ns,
+        )
+
+
+class FlatMapOperator(StatelessOperator):
+    """Apply ``fn`` producing zero or more payloads per input."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Iterable[Any]],
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+        declared_selectivity: float | None = None,
+    ) -> None:
+        super().__init__(
+            name=name or "flat-map",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=declared_selectivity,
+        )
+        self._fn = fn
+
+    def apply(self, element: StreamElement) -> Iterable[StreamElement]:
+        for value in self._fn(element.value):
+            yield element.with_value(value)

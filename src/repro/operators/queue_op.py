@@ -1,0 +1,136 @@
+"""Queues modeled as operators (paper Section 2.4).
+
+"We have modeled queues as separate operators.  It is worth mentioning
+that queues do not have an impact on the semantics, but are only
+introduced for performance reasons."
+
+A :class:`QueueOperator` is the decoupling point of the architecture:
+inserting one between two operators stops direct interoperability there
+and creates a boundary where a scheduler (GTS/OTS/HMTS level 2) takes
+over.  Its ``process`` method enqueues the element and returns nothing;
+a scheduler later pops elements and feeds them to the successor.
+
+The implementation is thread-safe (the real-thread engine has producer
+and consumer threads on either side) and tracks the peak population,
+which is the "queue memory usage" series plotted in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.operators.base import Operator
+from repro.streams.elements import END_OF_STREAM, Punctuation, StreamElement
+
+__all__ = ["QueueOperator"]
+
+
+class QueueOperator(Operator):
+    """An unbounded FIFO decoupling queue, modeled as an operator.
+
+    The queue itself is semantically transparent: selectivity 1, no
+    reordering.  END_OF_STREAM flows *through* the queue (it is enqueued
+    like data) so the consumer drains all buffered elements before
+    observing the end.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(
+            name=name or "queue",
+            declared_cost_ns=0.0,
+            declared_selectivity=1.0,
+        )
+        self._items: Deque[StreamElement | Punctuation] = deque()
+        self._condition = threading.Condition()
+        self.peak_size = 0
+        self.total_enqueued = 0
+        #: Optional callback invoked (outside the lock) after every push;
+        #: execution engines use it to wake the worker owning this queue.
+        self.push_listener: Optional[callable] = None
+
+    # ------------------------------------------------------------------
+    # Operator protocol: process() enqueues, produces nothing directly.
+    # ------------------------------------------------------------------
+    def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
+        self._guard(port)
+        self.push(element)
+        return []
+
+    def end_port(self, port: int = 0) -> List[StreamElement]:
+        # The end marker travels through the buffer, after buffered data.
+        outputs = super().end_port(port)
+        self.push(END_OF_STREAM)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Queue interface used by schedulers
+    # ------------------------------------------------------------------
+    def push(self, item: StreamElement | Punctuation) -> None:
+        """Enqueue a data element or punctuation and wake one consumer."""
+        with self._condition:
+            self._items.append(item)
+            self.total_enqueued += 1
+            if len(self._items) > self.peak_size:
+                self.peak_size = len(self._items)
+            self._condition.notify()
+        listener = self.push_listener
+        if listener is not None:
+            listener()
+
+    def try_pop(self) -> Optional[StreamElement | Punctuation]:
+        """Dequeue the oldest item, or None if the queue is empty."""
+        with self._condition:
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def pop(self, timeout: float | None = None) -> Optional[StreamElement | Punctuation]:
+        """Blocking dequeue; returns None only on timeout."""
+        with self._condition:
+            if not self._condition.wait_for(lambda: bool(self._items), timeout):
+                return None
+            return self._items.popleft()
+
+    def drain(self, limit: int | None = None) -> list[StreamElement | Punctuation]:
+        """Dequeue up to ``limit`` items (all if None) without blocking."""
+        with self._condition:
+            if limit is None or limit >= len(self._items):
+                items = list(self._items)
+                self._items.clear()
+            else:
+                items = [self._items.popleft() for _ in range(limit)]
+            return items
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    def state_size(self) -> int:
+        return len(self)
+
+    @property
+    def empty(self) -> bool:
+        """True when no item is buffered."""
+        return len(self) == 0
+
+    def oldest_seq(self) -> Optional[int]:
+        """Sequence number of the oldest buffered data element.
+
+        Used by the FIFO strategy to find the globally oldest element
+        across queues.  Punctuations at the head are skipped; returns
+        None if no data element is buffered.
+        """
+        with self._condition:
+            for item in self._items:
+                if isinstance(item, StreamElement):
+                    return item.seq
+            return None
+
+    def reset(self) -> None:
+        super().reset()
+        with self._condition:
+            self._items.clear()
+            self.peak_size = 0
+            self.total_enqueued = 0

@@ -1,0 +1,82 @@
+"""Selection (filter) operators.
+
+Two variants:
+
+* :class:`Selection` — filters by an arbitrary predicate over payloads.
+* :class:`SimulatedSelection` — filters to an exact target selectivity
+  using a deterministic accumulator, independent of payload values.
+  The paper's Fig. 7/8 query is "5 selections with selectivities 0.998,
+  0.996, ..., 0.990"; the simulated variant lets experiments pin those
+  selectivities precisely and reproducibly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+from repro.operators.base import StatelessOperator
+from repro.streams.elements import StreamElement
+
+__all__ = ["Selection", "SimulatedSelection"]
+
+
+class Selection(StatelessOperator):
+    """Keep exactly the elements whose payload satisfies ``predicate``."""
+
+    def __init__(
+        self,
+        predicate: Callable[[Any], bool],
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+        declared_selectivity: float | None = None,
+    ) -> None:
+        super().__init__(
+            name=name or "selection",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=declared_selectivity,
+        )
+        self._predicate = predicate
+
+    def apply(self, element: StreamElement) -> Iterable[StreamElement]:
+        if self._predicate(element.value):
+            yield element
+
+
+class SimulatedSelection(StatelessOperator):
+    """A selection with an exact long-run selectivity.
+
+    Element ``n`` (0-based) passes iff
+    ``floor((n + 1) * s) > floor(n * s)``, which passes exactly
+    ``floor(k * s)`` of the first ``k`` elements — the closest integer
+    realization of selectivity ``s`` with no randomness.
+
+    Args:
+        selectivity: Target pass ratio in ``[0, 1]``.
+    """
+
+    def __init__(
+        self,
+        selectivity: float,
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+    ) -> None:
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        super().__init__(
+            name=name or f"selection(s={selectivity})",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=selectivity,
+        )
+        self.selectivity = selectivity
+        self._seen = 0
+
+    def apply(self, element: StreamElement) -> Iterable[StreamElement]:
+        n = self._seen
+        self._seen += 1
+        if math.floor((n + 1) * self.selectivity) > math.floor(n * self.selectivity):
+            yield element
+
+    def reset(self) -> None:
+        super().reset()
+        self._seen = 0

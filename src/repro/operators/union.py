@@ -1,0 +1,40 @@
+"""Union (stream merge) operator.
+
+Forwards every element arriving on any of its ``arity`` input ports.
+In a push-based graph the interleaving is determined by arrival order,
+so no buffering or timestamp alignment is performed here; engines that
+need timestamp-ordered merges should decouple the union's inputs with
+queues and schedule them with a timestamp-aware strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.operators.base import Operator
+from repro.streams.elements import StreamElement
+
+__all__ = ["Union"]
+
+
+class Union(Operator):
+    """Merge ``arity`` input streams into one output stream."""
+
+    def __init__(
+        self,
+        arity: int = 2,
+        name: str | None = None,
+        declared_cost_ns: float | None = None,
+    ) -> None:
+        if arity < 1:
+            raise ValueError(f"union arity must be >= 1, got {arity}")
+        super().__init__(
+            name=name or f"union({arity})",
+            declared_cost_ns=declared_cost_ns,
+            declared_selectivity=1.0,
+        )
+        self.arity = arity
+
+    def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
+        self._guard(port)
+        return [element]

@@ -1,0 +1,109 @@
+"""Sliding windows over streams.
+
+The paper's join experiment (Section 6.3) uses "a one minute sliding
+window".  These window structures are the state backbone of the
+stateful operators: a window holds recent elements and expires old ones
+as application time advances.
+
+Two flavours:
+
+* :class:`TimeWindow` — keeps elements whose timestamp lies within the
+  last ``size_ns`` nanoseconds of the most recently observed time.
+* :class:`CountWindow` — keeps the most recent ``size`` elements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator
+
+from repro.streams.elements import StreamElement
+
+__all__ = ["TimeWindow", "CountWindow"]
+
+
+class TimeWindow:
+    """A sliding window of ``size_ns`` nanoseconds.
+
+    Elements must be inserted in non-decreasing timestamp order.  An
+    element with timestamp ``t`` remains in the window while the current
+    time ``now`` satisfies ``t > now - size_ns``; i.e. the window covers
+    the half-open interval ``(now - size_ns, now]``.
+    """
+
+    def __init__(self, size_ns: int) -> None:
+        if size_ns <= 0:
+            raise ValueError(f"window size must be positive, got {size_ns}")
+        self.size_ns = size_ns
+        self._elements: Deque[StreamElement] = deque()
+
+    def insert(self, element: StreamElement) -> bool:
+        """Add ``element`` and expire elements that fell out of range.
+
+        Streams are only approximately ordered downstream of joins and
+        unions, so out-of-order insertions are supported: a tardy
+        element is placed at its sorted position, and one that is
+        already outside the window (relative to the newest timestamp
+        seen) is dropped.  Returns True if the element was inserted.
+        """
+        elements = self._elements
+        if not elements or element.timestamp >= elements[-1].timestamp:
+            elements.append(element)
+            self.expire(element.timestamp)
+            return True
+        newest = elements[-1].timestamp
+        if element.timestamp <= newest - self.size_ns:
+            return False  # expired on arrival
+        # Tardy but still in range: keep the deque sorted by timestamp.
+        position = len(elements) - 1
+        while position > 0 and elements[position - 1].timestamp > element.timestamp:
+            position -= 1
+        elements.insert(position, element)
+        return True
+
+    def expire(self, now_ns: int) -> int:
+        """Drop elements outside ``(now_ns - size_ns, now_ns]``.
+
+        Returns the number of elements dropped.
+        """
+        cutoff = now_ns - self.size_ns
+        dropped = 0
+        elements = self._elements
+        while elements and elements[0].timestamp <= cutoff:
+            elements.popleft()
+            dropped += 1
+        return dropped
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._elements.clear()
+
+
+class CountWindow:
+    """A sliding window over the most recent ``size`` elements."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self.size = size
+        self._elements: Deque[StreamElement] = deque(maxlen=size)
+
+    def insert(self, element: StreamElement) -> None:
+        """Add ``element``, evicting the oldest if the window is full."""
+        self._elements.append(element)
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._elements.clear()

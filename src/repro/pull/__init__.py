@@ -1,0 +1,23 @@
+"""Pull-based (open-next-close) processing substrate with proxies."""
+
+from repro.pull.onc import (
+    BinaryPullOperator,
+    OncIterator,
+    OncListSource,
+    OncQueueReader,
+    UnaryPullOperator,
+    drain,
+)
+from repro.pull.proxy import Proxy
+from repro.pull.vo import build_pull_vo
+
+__all__ = [
+    "OncIterator",
+    "OncListSource",
+    "OncQueueReader",
+    "UnaryPullOperator",
+    "BinaryPullOperator",
+    "Proxy",
+    "build_pull_vo",
+    "drain",
+]

@@ -1,0 +1,277 @@
+"""The pull-based open-next-close (ONC) substrate (paper Section 2.2).
+
+Classic ONC iterators are ambiguous over streams: "the result false
+[of hasNext] can mean that currently no element is in the operator's
+input queues ... as well as that no element will be delivered anymore."
+Following the paper's resolution, our ONC protocol returns one of three
+things from :meth:`OncIterator.next`:
+
+* a data :class:`~repro.streams.elements.StreamElement`,
+* :data:`~repro.streams.elements.NO_ELEMENT` — nothing *right now*
+  ("an empty queue is signed with a special element which only carries
+  this information"),
+* :data:`~repro.streams.elements.END_OF_STREAM` — nothing *ever again*
+  (``hasNext`` is genuinely false).
+
+The adapters below lift the push-based substrate into ONC form, so the
+same operator kernels run under both paradigms — which is exactly the
+comparison Section 3 makes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.errors import PullProcessingError
+from repro.operators.base import Operator
+from repro.operators.queue_op import QueueOperator
+from repro.streams.elements import (
+    END_OF_STREAM,
+    NO_ELEMENT,
+    Punctuation,
+    StreamElement,
+    is_end,
+    is_no_element,
+)
+
+__all__ = [
+    "OncIterator",
+    "OncListSource",
+    "OncQueueReader",
+    "UnaryPullOperator",
+    "BinaryPullOperator",
+    "drain",
+]
+
+PullItem = StreamElement | Punctuation
+
+
+class OncIterator:
+    """Open-next-close iterator with stream-aware ``next`` semantics."""
+
+    def __init__(self, name: str = "onc") -> None:
+        self.name = name
+        self._opened = False
+        self._closed = False
+
+    def open(self) -> None:
+        """Prepare the iterator (opens inputs recursively)."""
+        if self._opened:
+            raise PullProcessingError(f"{self.name}: open() called twice")
+        self._opened = True
+
+    def next(self) -> PullItem:
+        """Return the next data element, NO_ELEMENT, or END_OF_STREAM."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (closes inputs recursively)."""
+        self._closed = True
+
+    @property
+    def opened(self) -> bool:
+        """True after :meth:`open`."""
+        return self._opened
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if not self._opened:
+            raise PullProcessingError(f"{self.name}: next() before open()")
+        if self._closed:
+            raise PullProcessingError(f"{self.name}: next() after close()")
+
+
+class OncListSource(OncIterator):
+    """ONC source over a finite element list (delivers END at the end)."""
+
+    def __init__(self, elements, name: str = "onc-list") -> None:
+        super().__init__(name)
+        self._elements: Deque[StreamElement] = deque(elements)
+
+    def next(self) -> PullItem:
+        self._check_open()
+        if not self._elements:
+            return END_OF_STREAM
+        return self._elements.popleft()
+
+
+class OncQueueReader(OncIterator):
+    """ONC view of a decoupling queue.
+
+    ``next`` returns the queue head if buffered, NO_ELEMENT when the
+    queue is momentarily empty, and END_OF_STREAM once the buffered end
+    marker is consumed.
+    """
+
+    def __init__(self, queue: QueueOperator, name: str | None = None) -> None:
+        super().__init__(name or f"onc({queue.name})")
+        self._queue = queue
+        self._ended = False
+
+    def next(self) -> PullItem:
+        self._check_open()
+        if self._ended:
+            return END_OF_STREAM
+        item = self._queue.try_pop()
+        if item is None:
+            return NO_ELEMENT
+        if is_end(item):
+            self._ended = True
+            return END_OF_STREAM
+        if is_no_element(item):
+            return NO_ELEMENT
+        assert isinstance(item, StreamElement)
+        return item
+
+
+class UnaryPullOperator(OncIterator):
+    """A push-based unary operator kernel driven by pulling its input.
+
+    ``next`` pulls input elements and feeds them through the kernel
+    until the kernel produces output (selective kernels may consume
+    several inputs per output), the input reports NO_ELEMENT, or the
+    stream ends — in which case the kernel's flush output is drained
+    before END_OF_STREAM is reported.
+    """
+
+    def __init__(
+        self, operator: Operator, source: OncIterator, name: str | None = None
+    ) -> None:
+        if operator.arity != 1:
+            raise PullProcessingError(
+                f"{operator.name} has arity {operator.arity}; "
+                "use BinaryPullOperator for binary kernels"
+            )
+        super().__init__(name or f"pull({operator.name})")
+        self.operator = operator
+        self.source = source
+        self._pending: Deque[StreamElement] = deque()
+        self._ended = False
+
+    def open(self) -> None:
+        super().open()
+        if not self.source.opened:
+            self.source.open()
+
+    def next(self) -> PullItem:
+        self._check_open()
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if self._ended:
+                return END_OF_STREAM
+            item = self.source.next()
+            if is_no_element(item):
+                return NO_ELEMENT
+            if is_end(item):
+                self._ended = True
+                self._pending.extend(self.operator.end_port(0))
+                continue
+            assert isinstance(item, StreamElement)
+            self._pending.extend(self.operator.process(item, 0))
+
+    def close(self) -> None:
+        super().close()
+        if not self.source.closed:
+            self.source.close()
+
+
+class BinaryPullOperator(OncIterator):
+    """A push-based binary kernel (join, union) driven by two ONC inputs.
+
+    Pulls alternate between the two inputs, preferring the side that
+    most recently had data; a side that reports END stops being polled.
+    """
+
+    def __init__(
+        self,
+        operator: Operator,
+        left: OncIterator,
+        right: OncIterator,
+        name: str | None = None,
+    ) -> None:
+        if operator.arity != 2:
+            raise PullProcessingError(
+                f"{operator.name} has arity {operator.arity}, expected 2"
+            )
+        super().__init__(name or f"pull({operator.name})")
+        self.operator = operator
+        self.sources = (left, right)
+        self._pending: Deque[StreamElement] = deque()
+        self._side_ended = [False, False]
+        self._flushed = False
+        self._turn = 0
+
+    def open(self) -> None:
+        super().open()
+        for source in self.sources:
+            if not source.opened:
+                source.open()
+
+    def next(self) -> PullItem:
+        self._check_open()
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if all(self._side_ended):
+                return END_OF_STREAM
+            progressed = False
+            for offset in range(2):
+                side = (self._turn + offset) % 2
+                if self._side_ended[side]:
+                    continue
+                item = self.sources[side].next()
+                if is_no_element(item):
+                    continue
+                progressed = True
+                self._turn = 1 - side  # alternate fairness
+                if is_end(item):
+                    self._side_ended[side] = True
+                    self._pending.extend(self.operator.end_port(side))
+                else:
+                    assert isinstance(item, StreamElement)
+                    self._pending.extend(self.operator.process(item, side))
+                break
+            if not progressed and not self._pending:
+                if all(self._side_ended):
+                    continue  # emit END on next loop
+                return NO_ELEMENT
+
+    def close(self) -> None:
+        super().close()
+        for source in self.sources:
+            if not source.closed:
+                source.close()
+
+
+def drain(iterator: OncIterator, spin_limit: int = 1_000_000) -> List[StreamElement]:
+    """Pull ``iterator`` to END_OF_STREAM, collecting all data elements.
+
+    NO_ELEMENT responses are retried up to ``spin_limit`` times in a
+    row; exceeding the limit raises (the stream is stalled — in live
+    systems a scheduler would yield here instead of spinning).
+    """
+    if not iterator.opened:
+        iterator.open()
+    results: List[StreamElement] = []
+    spins = 0
+    while True:
+        item = iterator.next()
+        if is_end(item):
+            iterator.close()
+            return results
+        if is_no_element(item):
+            spins += 1
+            if spins > spin_limit:
+                raise PullProcessingError(
+                    f"{iterator.name}: stalled after {spin_limit} empty pulls"
+                )
+            continue
+        spins = 0
+        assert isinstance(item, StreamElement)
+        results.append(item)

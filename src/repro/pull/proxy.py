@@ -1,0 +1,54 @@
+"""Proxies: the queue replacement inside pull-based VOs (Section 3.2).
+
+"For a given set of operators that are to build a VO, we replace in the
+second step all queues between them with special queues, called
+proxies.  The dequeue method of a proxy reads the next element of its
+source until it either reads a data element or it reads a special
+element, which indicates that currently no element is available."
+
+A :class:`Proxy` therefore never buffers: each ``next`` call pulls its
+upstream ONC iterator through and forwards the first decisive answer.
+Placing proxies instead of queues is what turns a chain of pull
+operators into a single virtual operator — only the root is scheduled.
+"""
+
+from __future__ import annotations
+
+from repro.pull.onc import OncIterator, PullItem
+from repro.streams.elements import is_data, is_end, is_no_element
+
+__all__ = ["Proxy"]
+
+
+class Proxy(OncIterator):
+    """A bufferless pass-through replacing a queue inside a pull VO.
+
+    Attributes:
+        pulls: Total ``next`` calls served (for overhead accounting —
+            the point of VOs is that this is *all* a proxy costs,
+            compared to enqueue/dequeue/synchronization for a queue).
+    """
+
+    def __init__(self, source: OncIterator, name: str | None = None) -> None:
+        super().__init__(name or f"proxy({source.name})")
+        self.source = source
+        self.pulls = 0
+
+    def open(self) -> None:
+        super().open()
+        if not self.source.opened:
+            self.source.open()
+
+    def next(self) -> PullItem:
+        self._check_open()
+        self.pulls += 1
+        # Read the source "until it either reads a data element or ...
+        # the special element": one decisive upstream answer per call.
+        item = self.source.next()
+        assert is_data(item) or is_end(item) or is_no_element(item)
+        return item
+
+    def close(self) -> None:
+        super().close()
+        if not self.source.closed:
+            self.source.close()

@@ -1,0 +1,141 @@
+"""Pull-based virtual operators (paper Section 3.2) and their limits.
+
+Building a VO under pull-based processing takes three steps (Fig. 2):
+select adjacent operators **forming a tree**, replace the queues
+between them with :class:`~repro.pull.proxy.Proxy` objects, and make
+sure the scheduler only calls ``next`` on the VO's root.
+
+The tree restriction is fundamental (Section 3.4): ONC operators have a
+unique consumer, so a pull VO cannot contain subquery sharing — "a call
+of the next method of one of them without temporarily storing the
+result for the other operator leads to incorrect results."
+:func:`build_pull_vo` enforces exactly that, raising
+:class:`~repro.errors.VirtualOperatorError` for shared subgraphs, which
+is the reason the paper (and this library) prefers the push-based
+approach for general VOs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import VirtualOperatorError
+from repro.graph.node import Node
+from repro.graph.query_graph import Edge, QueryGraph
+from repro.pull.onc import (
+    BinaryPullOperator,
+    OncIterator,
+    UnaryPullOperator,
+)
+from repro.pull.proxy import Proxy
+
+__all__ = ["build_pull_vo"]
+
+
+def build_pull_vo(
+    graph: QueryGraph,
+    members: Sequence[Node],
+    entry_feeds: Dict[Edge, OncIterator],
+) -> OncIterator:
+    """Assemble a pull-based VO over ``members`` and return its root.
+
+    Args:
+        graph: The query graph the members belong to.
+        members: Adjacent non-queue operator nodes; must form a tree
+            with a unique root (single member without an in-VO consumer)
+            and no in-VO subquery sharing.
+        entry_feeds: One ONC iterator per edge entering the member set
+            from outside (typically :class:`~repro.pull.onc.OncQueueReader`
+            over the decoupling queues below the VO).
+
+    Returns:
+        The root iterator; schedulers must pull only this root
+        ("we make sure that the scheduler only calls the next method
+        for the root of the VO").
+
+    Raises:
+        VirtualOperatorError: if the member set violates the pull
+            restrictions of Section 3.2/3.4.
+    """
+    if not members:
+        raise VirtualOperatorError("a pull VO needs at least one member")
+    member_set = set(members)
+    for node in members:
+        if not node.is_operator or node.is_queue:
+            raise VirtualOperatorError(
+                f"pull VO members must be non-queue operators, got {node.name!r}"
+            )
+
+    # Tree check 1: no in-VO subquery sharing (an output consumed by two
+    # members, or by a member and the outside world).
+    roots = []
+    for node in members:
+        internal_consumers = [
+            edge.consumer
+            for edge in graph.out_edges(node)
+            if edge.consumer in member_set
+        ]
+        if len(internal_consumers) > 1:
+            raise VirtualOperatorError(
+                f"{node.name!r} feeds {len(internal_consumers)} members: "
+                "pull VOs cannot contain subquery sharing (Section 3.4)"
+            )
+        external_consumers = [
+            edge.consumer
+            for edge in graph.out_edges(node)
+            if edge.consumer not in member_set
+        ]
+        if internal_consumers and external_consumers:
+            raise VirtualOperatorError(
+                f"{node.name!r} is consumed both inside and outside the VO: "
+                "temporarily storing elements within a VO is not permitted"
+            )
+        if not internal_consumers:
+            roots.append(node)
+
+    # Tree check 2: unique root ("pull-based processing always needs a
+    # unique root to invoke the processing").
+    if len(roots) != 1:
+        raise VirtualOperatorError(
+            f"pull VO must have exactly one root, found "
+            f"{[node.name for node in roots]}"
+        )
+    root = roots[0]
+
+    # Check all required entry feeds are present before wiring.
+    for node in members:
+        for edge in graph.in_edges(node):
+            if edge.producer not in member_set and edge not in entry_feeds:
+                raise VirtualOperatorError(
+                    f"missing entry feed for edge {edge!r}"
+                )
+
+    built: Dict[Node, OncIterator] = {}
+
+    def build(node: Node) -> OncIterator:
+        if node in built:
+            # Unreachable given the sharing check, but defend anyway.
+            raise VirtualOperatorError(
+                f"{node.name!r} pulled twice while building the VO"
+            )
+        inputs: list[OncIterator] = []
+        for edge in graph.in_edges(node):
+            if edge.producer in member_set:
+                # An internal link: a proxy replaces the queue (Fig. 2).
+                inputs.append(Proxy(build(edge.producer)))
+            else:
+                inputs.append(entry_feeds[edge])
+        operator = node.operator
+        if operator.arity == 1:
+            iterator: OncIterator = UnaryPullOperator(operator, inputs[0])
+        elif operator.arity == 2:
+            iterator = BinaryPullOperator(operator, inputs[0], inputs[1])
+        else:
+            raise VirtualOperatorError(
+                f"pull VOs support arity <= 2, {node.name!r} has "
+                f"arity {operator.arity}"
+            )
+        built[node] = iterator
+        return iterator
+
+    return build(root)

@@ -1,0 +1,72 @@
+"""Deterministic discrete-event multicore simulator (performance substrate)."""
+
+from repro.sim.channel import SimQueue
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.graph_engine import GraphSimConfig, GraphSimResult, simulate_graph
+from repro.sim.items import ElementBatch, EndMarker
+from repro.sim.joins import (
+    JoinCostParams,
+    JoinExperimentConfig,
+    JoinRunResult,
+    run_di_join,
+)
+from repro.sim.machine import Machine, SimThread
+from repro.sim.metrics import (
+    ResultCounter,
+    Series,
+    arrival_rate_series,
+    sampler_program,
+)
+from repro.sim.pipeline import (
+    OperatorSpec,
+    PipelineConfig,
+    PipelineResult,
+    SelectivityCounter,
+    SourcePhase,
+    SourceSpec,
+    run_pipeline,
+)
+from repro.sim.requests import (
+    Compute,
+    Pop,
+    PopBatch,
+    Push,
+    Sleep,
+    WaitAny,
+    YieldCpu,
+)
+
+__all__ = [
+    "SimQueue",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ElementBatch",
+    "EndMarker",
+    "GraphSimConfig",
+    "GraphSimResult",
+    "simulate_graph",
+    "Machine",
+    "SimThread",
+    "ResultCounter",
+    "Series",
+    "arrival_rate_series",
+    "sampler_program",
+    "OperatorSpec",
+    "PipelineConfig",
+    "PipelineResult",
+    "SelectivityCounter",
+    "SourcePhase",
+    "SourceSpec",
+    "run_pipeline",
+    "JoinCostParams",
+    "JoinExperimentConfig",
+    "JoinRunResult",
+    "run_di_join",
+    "Compute",
+    "Pop",
+    "PopBatch",
+    "Push",
+    "Sleep",
+    "WaitAny",
+    "YieldCpu",
+]

@@ -1,0 +1,97 @@
+"""Simulated decoupling queues.
+
+A :class:`SimQueue` is the simulator's counterpart of
+:class:`~repro.operators.queue_op.QueueOperator`: an unbounded FIFO
+whose enqueue/dequeue operations cost simulated CPU time (charged by
+the machine, per the :class:`~repro.sim.costs.CostModel`).
+
+Items are opaque to the queue; engines push
+:class:`~repro.sim.items.ElementBatch` records or end markers.  Each
+item carries a *weight* — how many stream elements it represents — so
+batched execution (one item standing for n elements) still yields exact
+memory accounting: ``size`` is the total buffered element count, which
+is what Fig. 9 plots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+__all__ = ["SimQueue"]
+
+
+class SimQueue:
+    """An unbounded weighted FIFO with blocked-consumer bookkeeping.
+
+    Created via :meth:`repro.sim.machine.Machine.new_queue`; engines
+    never construct one directly.
+    """
+
+    def __init__(self, name: str, queue_id: int) -> None:
+        self.name = name
+        self.queue_id = queue_id
+        self._items: Deque[Tuple[Any, int]] = deque()
+        #: Total weight (stream elements) currently buffered.
+        self.size = 0
+        #: Largest ``size`` ever observed.
+        self.peak_size = 0
+        #: Total weight ever enqueued.
+        self.total_enqueued = 0
+        #: Threads blocked in Pop/PopBatch on this queue (machine-managed).
+        self.waiters: List[Any] = []
+        #: Set by engines when the producer side has finished (the end
+        #: marker itself travels through the buffer as an item).
+        self.producer_done = False
+
+    def push(self, item: Any, weight: int = 1) -> None:
+        """Buffer ``item`` representing ``weight`` stream elements."""
+        if weight < 0:
+            raise ValueError(f"negative item weight {weight}")
+        self._items.append((item, weight))
+        self.size += weight
+        self.total_enqueued += weight
+        if self.size > self.peak_size:
+            self.peak_size = self.size
+
+    def pop(self) -> Optional[Tuple[Any, int]]:
+        """Remove and return ``(item, weight)``, or None when empty."""
+        if not self._items:
+            return None
+        item, weight = self._items.popleft()
+        self.size -= weight
+        return item, weight
+
+    def pop_batch(self, max_items: int | None = None) -> List[Tuple[Any, int]]:
+        """Remove up to ``max_items`` buffered items (all if None)."""
+        if max_items is None or max_items >= len(self._items):
+            batch = list(self._items)
+            self._items.clear()
+            self.size = 0
+            return batch
+        batch = [self._items.popleft() for _ in range(max_items)]
+        for _, weight in batch:
+            self.size -= weight
+        return batch
+
+    def head_sort_key(self) -> Any:
+        """FIFO ordering key of the head item (None when empty).
+
+        Engines store globally ordered sequence numbers in their items;
+        the FIFO strategy compares queues by this key.
+        """
+        if not self._items:
+            return None
+        head, _ = self._items[0]
+        return getattr(head, "seq", None)
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is buffered."""
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimQueue {self.name!r} size={self.size}>"

@@ -1,0 +1,84 @@
+"""The simulator's machine cost model.
+
+Every quantity the paper's experiments hinge on is an explicit constant
+here, in integer-friendly nanoseconds:
+
+* queue communication overhead (the reason DI beats OTS/GTS on cheap
+  operators: "the resulting enqueue, dequeue, and queue management
+  operations may have higher cost than the subsequent operators",
+  Section 3.1),
+* thread management overhead: context-switch cost and wake-up latency
+  (the reason OTS stops scaling with many threads, Section 4.1.2),
+* the preemption quantum of the machine's round-robin scheduler,
+* the per-decision cost of a level-2 scheduling strategy.
+
+The defaults are calibrated to a mid-2000s dual-core 3 GHz machine (the
+paper's testbed class); the ablation benches sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine and runtime costs, all in nanoseconds.
+
+    Attributes:
+        context_switch_ns: Charged whenever a core switches to a thread
+            different from the one it ran last.
+        quantum_ns: Preemption time slice of the (simulated) OS
+            round-robin scheduler.
+        enqueue_ns: Per-element cost of pushing into a decoupling queue
+            (including synchronization).
+        dequeue_ns: Per-element cost of popping from a decoupling queue.
+        wake_ns: Latency between a push into an empty queue and the
+            blocked consumer thread becoming runnable.
+        strategy_select_ns: Charged per scheduling decision of a
+            level-2 strategy (GTS/HMTS partition schedulers).
+        di_call_ns: Per-element cost of a direct operator call (the
+            "virtual function call" price of DI — tiny but not zero).
+        per_thread_switch_ns: Additional context-switch cost per alive
+            thread — scheduler bookkeeping and working-set/cache
+            pressure grow with the thread population, which is the
+            effect behind "we are not aware of any platform that can
+            handle a large number of threads effectively" (Section 1).
+    """
+
+    context_switch_ns: int = 2_000
+    quantum_ns: int = 10_000_000
+    # A synchronized producer-consumer handoff on a mid-2000s JVM
+    # (lock + memory barriers + occasional park/unpark) costs on the
+    # order of a microsecond per side — several times a trivial
+    # selection predicate, which is the Section 3.1 premise that makes
+    # VOs worthwhile.
+    enqueue_ns: int = 600
+    dequeue_ns: int = 600
+    wake_ns: int = 3_000
+    strategy_select_ns: int = 250
+    di_call_ns: int = 15
+    per_thread_switch_ns: float = 12.0
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with every overhead scaled by ``factor`` (ablations)."""
+        return CostModel(
+            context_switch_ns=round(self.context_switch_ns * factor),
+            quantum_ns=self.quantum_ns,
+            enqueue_ns=round(self.enqueue_ns * factor),
+            dequeue_ns=round(self.dequeue_ns * factor),
+            wake_ns=round(self.wake_ns * factor),
+            strategy_select_ns=round(self.strategy_select_ns * factor),
+            di_call_ns=round(self.di_call_ns * factor),
+            per_thread_switch_ns=self.per_thread_switch_ns * factor,
+        )
+
+    def with_quantum(self, quantum_ns: int) -> "CostModel":
+        """A copy with a different preemption quantum (ablations)."""
+        return replace(self, quantum_ns=quantum_ns)
+
+
+#: The calibration used by all paper-reproduction benches.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,535 @@
+"""Simulated execution of *arbitrary* query graphs.
+
+:mod:`repro.sim.pipeline` covers the paper's chain-shaped experiment
+queries; this module simulates any annotated
+:class:`~repro.graph.query_graph.QueryGraph` — fan-out (shared
+subqueries, Fig. 1), fan-in (unions, joins), multiple sources — under
+any partitioning, so users can evaluate *their* graphs and placements
+on the simulated multicore machine before deploying on the real-thread
+engine.
+
+How a graph maps onto the machine:
+
+* Every **source node** becomes an autonomous simulated thread
+  following the source's emission schedule.
+* The graph's current **queue placement** defines the VOs (the
+  connected queue-free components, exactly like
+  :func:`repro.core.virtual_operator.build_virtual_operators`).  Each
+  decoupling queue becomes a :class:`~repro.sim.channel.SimQueue`.
+* A **partition** (a group of queues, from an
+  :class:`~repro.core.modes.EngineConfig` or a simple mode name)
+  becomes one scheduler thread running its queues under a strategy.
+* Operator execution is modeled from node annotations: each element
+  entering a VO flows depth-first through the member operators; every
+  operator charges ``c(v)`` per element processed and multiplies the
+  element count by its selectivity (exact floor-accumulated, per
+  operator).  Fan-out duplicates counts to every consumer; fan-in
+  merges them.  Binary/n-ary operators apply their selectivity to the
+  summed input rate — a standard fluid approximation for joins (the
+  per-element join experiment of Fig. 6 is modeled exactly instead in
+  :mod:`repro.sim.joins`).
+* Elements reaching **sinks** are counted with timestamps.
+
+The result mirrors :class:`~repro.sim.pipeline.PipelineResult`:
+runtime, per-sink result series, queue-memory series, machine stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.core.strategies import ChainStrategy
+from repro.errors import SimulationError
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+from repro.sim.channel import SimQueue
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.items import GLOBAL_SEQ, ElementBatch, EndMarker
+from repro.sim.machine import Machine
+from repro.sim.metrics import ResultCounter, Series, sampler_program
+from repro.sim.pipeline import SelectivityCounter
+from repro.sim.requests import Compute, PopBatch, Push, Sleep, WaitAny
+
+__all__ = ["GraphSimConfig", "GraphSimResult", "simulate_graph"]
+
+SECOND = 1_000_000_000
+
+Mode = Literal["auto", "gts", "ots", "hmts"]
+
+
+@dataclass
+class GraphSimConfig:
+    """Configuration for simulating one query graph.
+
+    Attributes:
+        mode: ``"gts"`` (one scheduler for all queues), ``"ots"`` (one
+            thread per queue), ``"hmts"`` (explicit ``queue_groups``),
+            or ``"auto"`` (one thread per queue — like OTS — when no
+            groups are given, else HMTS).
+        queue_groups: For hmts/auto: lists of queue *nodes* forming the
+            level-2 units.
+        strategy: Scheduling strategy name for every scheduler thread.
+        priorities: Level-3 priorities, one per group.
+        n_cores: Simulated core count.
+        cost_model: Machine overheads.
+        batch_max: Elements per source chunk.
+        default_cost_ns: Fallback ``c(v)`` for unannotated operators.
+        sample_interval_ns: Queue-memory sampling period (None = off).
+    """
+
+    mode: Mode = "auto"
+    queue_groups: Optional[Sequence[Sequence[Node]]] = None
+    strategy: str = "fifo"
+    priorities: Optional[Sequence[float]] = None
+    n_cores: int = 2
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    batch_max: int = 512
+    default_cost_ns: float = 100.0
+    sample_interval_ns: Optional[int] = None
+
+
+@dataclass
+class GraphSimResult:
+    """Outcome of one simulated graph run."""
+
+    runtime_ns: int
+    sink_counts: Dict[str, int]
+    sink_series: Dict[str, ResultCounter]
+    memory: Series
+    queue_peaks: Dict[str, int]
+    machine: Machine = field(repr=False)
+
+    @property
+    def runtime_s(self) -> float:
+        """Runtime in seconds of simulated time."""
+        return self.runtime_ns / SECOND
+
+    @property
+    def total_results(self) -> int:
+        """Sum over all sinks."""
+        return sum(self.sink_counts.values())
+
+
+class _SimVO:
+    """One VO: the queue-free region downstream of an entry point.
+
+    ``feed(n, port_node, port)`` pushes ``n`` elements into the VO at a
+    member node and returns ``(compute_ns, effects)`` where effects are
+    ``("queue", sim_queue, count)`` and ``("sink", name, count)`` pairs.
+    """
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        members: List[Node],
+        config: GraphSimConfig,
+    ) -> None:
+        self.graph = graph
+        self.members = set(members)
+        self.config = config
+        # Per (node) selectivity counters — one per operator, shared by
+        # all its input ports (selectivity applies to the merged input).
+        self._counters: Dict[Node, SelectivityCounter] = {}
+        for node in members:
+            selectivity = node.selectivity
+            if selectivity is None:
+                selectivity = 1.0
+            self._counters[node] = SelectivityCounter(min(1.0, selectivity))
+            self._multiplier = None
+        # Selectivities above 1 (expanding operators, e.g. joins with
+        # fan-out > 1) are handled with a fractional accumulator too.
+        self._expanders: Dict[Node, float] = {
+            node: (node.selectivity or 1.0)
+            for node in members
+            if (node.selectivity or 1.0) > 1.0
+        }
+        self._expander_acc: Dict[Node, float] = {
+            node: 0.0 for node in self._expanders
+        }
+
+    def _pass_through(self, node: Node, n_in: int) -> int:
+        if node in self._expanders:
+            self._expander_acc[node] += n_in * self._expanders[node]
+            out = int(self._expander_acc[node])
+            self._expander_acc[node] -= out
+            return out
+        return self._counters[node].take(n_in)
+
+    def feed(
+        self, n: int, entry_node: Node, entry_port: int
+    ) -> Tuple[int, List[Tuple[str, object, int]]]:
+        """Flow ``n`` elements into ``entry_node``; depth-first DI."""
+        total_cost = 0.0
+        effects: List[Tuple[str, object, int]] = []
+        stack: List[Tuple[Node, int]] = [(entry_node, n)]
+        cost_model = self.config.cost_model
+        while stack:
+            node, count = stack.pop()
+            if count <= 0:
+                continue
+            if node.is_sink:
+                effects.append(("sink", node.name, count))
+                continue
+            if node.is_queue:
+                effects.append(("queue", node, count))
+                continue
+            cost = node.cost_ns
+            if cost is None:
+                cost = self.config.default_cost_ns
+            total_cost += count * (cost_model.di_call_ns + cost)
+            n_out = self._pass_through(node, count)
+            if n_out > 0:
+                for edge in self.graph.out_edges(node):
+                    stack.append((edge.consumer, n_out))
+        return round(total_cost), effects
+
+
+class _SimUnit:
+    """A scheduled queue: sim queue + the VO entry it feeds."""
+
+    def __init__(
+        self,
+        queue_node: Node,
+        sim_queue: SimQueue,
+        vo: _SimVO,
+        consumers: List[Tuple[Node, int]],
+    ) -> None:
+        self.queue_node = queue_node
+        self.sim_queue = sim_queue
+        self.vo = vo
+        self.consumers = consumers
+        self.ended = False
+        self.pending_ends = 0  # producers that have not ended yet
+
+
+def _strategy_pick(
+    units: List["_SimUnit"], strategy: str, slopes: Dict[Node, float], rr: List[int]
+) -> "_SimUnit":
+    ready = [u for u in units if not u.sim_queue.empty]
+    if strategy == "longest-queue-first":
+        longest = max(u.sim_queue.size for u in ready)
+        ready = [u for u in ready if u.sim_queue.size == longest]
+    if strategy == "greedy":
+        # Per-queue release rate of the consuming operator.
+        def rate(unit):
+            best = 0.0
+            for consumer, _port in unit.consumers:
+                if consumer.is_sink:
+                    continue
+                cost = consumer.cost_ns or 1.0
+                selectivity = (
+                    consumer.selectivity
+                    if consumer.selectivity is not None
+                    else 1.0
+                )
+                best = max(best, (1.0 - selectivity) / cost)
+            return best
+
+        top = max(rate(u) for u in ready)
+        ready = [u for u in ready if rate(u) == top]
+    if strategy == "chain":
+        best = min(slopes.get(u.queue_node, 0.0) for u in ready)
+        ready = [u for u in ready if slopes.get(u.queue_node, 0.0) == best]
+    if strategy == "round-robin":
+        for offset in range(len(units)):
+            index = (rr[0] + offset) % len(units)
+            if not units[index].sim_queue.empty:
+                rr[0] = (index + 1) % len(units)
+                return units[index]
+    # FIFO (and tie-break): oldest head item.
+    return min(
+        ready,
+        key=lambda u: (
+            u.sim_queue.head_sort_key()
+            if u.sim_queue.head_sort_key() is not None
+            else float("inf")
+        ),
+    )
+
+
+def simulate_graph(
+    graph: QueryGraph, config: GraphSimConfig | None = None
+) -> GraphSimResult:
+    """Simulate ``graph`` (with its current queue placement) end to end.
+
+    Requirements: the graph validates; sources carry finite schedules;
+    operators carry ``cost_ns`` annotations (or the config default is
+    used) and optional selectivities.
+
+    Raises:
+        SimulationError: on invalid mode/group configuration.
+    """
+    config = config or GraphSimConfig()
+    graph.validate()
+    machine = Machine(n_cores=config.n_cores, cost_model=config.cost_model)
+
+    # --- Build VOs from the current queue placement -------------------
+    operators = graph.operators(include_queues=False)
+    member_of: Dict[Node, _SimVO] = {}
+    vos: List[_SimVO] = []
+    seen: set[Node] = set()
+    for start in operators:
+        if start in seen:
+            continue
+        component: List[Node] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            neighbours = [e.consumer for e in graph.out_edges(node)] + [
+                e.producer for e in graph.in_edges(node)
+            ]
+            for other in neighbours:
+                if (
+                    other.is_operator
+                    and not other.is_queue
+                    and other not in seen
+                ):
+                    seen.add(other)
+                    stack.append(other)
+        vo = _SimVO(graph, component, config)
+        vos.append(vo)
+        for node in component:
+            member_of[node] = vo
+
+    # --- Queues --------------------------------------------------------
+    units: Dict[Node, _SimUnit] = {}
+    for queue_node in graph.queues():
+        sim_queue = machine.new_queue(queue_node.name)
+        consumers = [
+            (edge.consumer, edge.port) for edge in graph.out_edges(queue_node)
+        ]
+        target = consumers[0][0]
+        vo = member_of.get(target)
+        if vo is None and not target.is_sink:
+            raise SimulationError(
+                f"queue {queue_node.name!r} feeds {target.name!r}, which "
+                "is neither an operator nor a sink"
+            )
+        units[queue_node] = _SimUnit(queue_node, sim_queue, vo, consumers)
+
+    # A queue is done when it has received one end marker per *entry*
+    # of the producing region: a source pushing directly counts as one,
+    # and a VO forwards one end per entry feeding it (each entry queue
+    # or direct-DI source announces its own end to every downstream
+    # queue of the VO).
+    def _vo_entry_count(vo: _SimVO) -> int:
+        entries = 0
+        for member in vo.members:
+            for edge in graph.in_edges(member):
+                if edge.producer.is_queue or edge.producer.is_source:
+                    entries += 1
+        return max(1, entries)
+
+    for queue_node, unit in units.items():
+        expected = 0
+        for edge in graph.in_edges(queue_node):
+            producer = edge.producer
+            if producer.is_source:
+                expected += 1
+            else:
+                expected += _vo_entry_count(member_of[producer])
+        unit.pending_ends = max(1, expected)
+
+    # --- Sinks ----------------------------------------------------------
+    sink_series: Dict[str, ResultCounter] = {
+        node.name: ResultCounter(node.name) for node in graph.sinks()
+    }
+
+    def apply_effects(effects):
+        """Translate VO effects into requests (generator fragment)."""
+        for kind, target, count in effects:
+            if kind == "sink":
+                sink_series[target].add(machine.now, count)
+            else:
+                unit = units[target]
+                yield Push(
+                    unit.sim_queue,
+                    ElementBatch(count, seq=next(GLOBAL_SEQ)),
+                    count,
+                )
+
+    def propagate_end(queue_node: Node):
+        """Send an end marker into a queue (producer side finished)."""
+        unit = units[queue_node]
+        yield Push(unit.sim_queue, EndMarker(), 0)
+
+    # --- End-of-stream bookkeeping for sinks ---------------------------
+    # (Sinks have no explicit end in the sim; runtime ends when all
+    # threads finish.)
+
+    # --- Source threads --------------------------------------------------
+    def source_program(source_node: Node):
+        source = source_node.payload
+        vo_effect_edges = graph.out_edges(source_node)
+        pending: List[Tuple[int, int]] = []  # (timestamp, count) chunks
+        # Chunk the source schedule.
+        chunk: List[int] = []
+        for element in source:
+            chunk.append(element.timestamp)
+            if len(chunk) >= config.batch_max:
+                pending.append((chunk[-1], len(chunk)))
+                chunk = []
+        if chunk:
+            pending.append((chunk[-1], len(chunk)))
+        for timestamp, count in pending:
+            yield Sleep(until_ns=timestamp)
+            for edge in vo_effect_edges:
+                consumer = edge.consumer
+                if consumer.is_queue:
+                    unit = units[consumer]
+                    yield Push(
+                        unit.sim_queue,
+                        ElementBatch(count, seq=next(GLOBAL_SEQ)),
+                        count,
+                    )
+                else:
+                    # DI straight from the source thread.
+                    vo = member_of[consumer]
+                    cost, effects = vo.feed(count, consumer, edge.port)
+                    if cost:
+                        yield Compute(cost)
+                    yield from apply_effects(effects)
+        # End of stream: notify downstream queues.
+        for edge in vo_effect_edges:
+            if edge.consumer.is_queue:
+                yield from propagate_end(edge.consumer)
+        # Ends through DI regions reach their downstream queues too.
+        for edge in vo_effect_edges:
+            if not edge.consumer.is_queue:
+                for queue_node in _downstream_queues(
+                    graph, edge.consumer, member_of
+                ):
+                    yield from propagate_end(queue_node)
+
+    def _downstream_queues(graph, node, member_of):
+        """Queues on the boundary of the VO containing ``node``."""
+        vo = member_of[node]
+        found = []
+        for member in vo.members:
+            for edge in graph.out_edges(member):
+                if edge.consumer.is_queue:
+                    found.append(edge.consumer)
+        return found
+
+    # --- Scheduler threads ------------------------------------------------
+    def scheduler_program(owned: List[_SimUnit], strategy: str):
+        slopes: Dict[Node, float] = {}
+        if strategy == "chain":
+            chain_strategy = ChainStrategy()
+            chain_strategy.prepare(graph, [u.queue_node for u in owned])
+            slopes = {
+                u.queue_node: chain_strategy.slope_of(u.queue_node)
+                for u in owned
+            }
+        rr = [0]
+        while True:
+            live = [u for u in owned if not (u.ended and u.sim_queue.empty)]
+            if not live:
+                return
+            ready = [u for u in live if not u.sim_queue.empty]
+            if not ready:
+                yield WaitAny([u.sim_queue for u in live])
+                continue
+            if config.cost_model.strategy_select_ns > 0:
+                yield Compute(config.cost_model.strategy_select_ns)
+            unit = _strategy_pick(ready, strategy, slopes, rr)
+            batch = yield PopBatch(unit.sim_queue, max_items=1)
+            for item, _weight in batch:
+                if isinstance(item, EndMarker):
+                    unit.pending_ends -= 1
+                    if unit.pending_ends <= 0:
+                        unit.ended = True
+                        # Propagate the end through this unit's VO to
+                        # its downstream queues.
+                        for consumer, _port in unit.consumers:
+                            if consumer.is_sink:
+                                continue
+                            for queue_node in _downstream_queues(
+                                graph, consumer, member_of
+                            ):
+                                yield from propagate_end(queue_node)
+                    continue
+                for consumer, port in unit.consumers:
+                    if consumer.is_sink:
+                        sink_series[consumer.name].add(
+                            machine.now, item.count
+                        )
+                        continue
+                    cost, effects = unit.vo.feed(item.count, consumer, port)
+                    if cost:
+                        yield Compute(cost)
+                    yield from apply_effects(effects)
+
+    # --- Spawn -------------------------------------------------------------
+    for source_node in graph.sources():
+        machine.spawn(
+            source_program(source_node), name=f"source:{source_node.name}"
+        )
+
+    unit_list = list(units.values())
+    if config.mode == "gts":
+        groups = [unit_list] if unit_list else []
+    elif config.mode in ("ots", "auto") and config.queue_groups is None:
+        groups = [[unit] for unit in unit_list]
+    else:
+        if config.queue_groups is None:
+            raise SimulationError("hmts mode requires queue_groups")
+        covered: set[Node] = set()
+        groups = []
+        for group_nodes in config.queue_groups:
+            group = []
+            for queue_node in group_nodes:
+                if queue_node not in units:
+                    raise SimulationError(
+                        f"{queue_node.name!r} is not a queue of this graph"
+                    )
+                covered.add(queue_node)
+                group.append(units[queue_node])
+            groups.append(group)
+        missing = set(units) - covered
+        if missing:
+            raise SimulationError(
+                "queue_groups must cover all queues; missing "
+                + ", ".join(node.name for node in missing)
+            )
+    priorities = list(config.priorities or [0.0] * len(groups))
+    if len(priorities) != len(groups):
+        raise SimulationError(
+            f"{len(groups)} groups but {len(priorities)} priorities"
+        )
+    for index, group in enumerate(groups):
+        if group:
+            machine.spawn(
+                scheduler_program(group, config.strategy),
+                name=f"scheduler-{index}",
+                priority=priorities[index],
+            )
+
+    memory = Series("queue-memory")
+    if config.sample_interval_ns is not None:
+        sim_queues = [unit.sim_queue for unit in unit_list]
+        machine.spawn(
+            sampler_program(
+                machine,
+                config.sample_interval_ns,
+                {"memory": lambda: float(sum(q.size for q in sim_queues))},
+                {"memory": memory},
+            ),
+            name="sampler",
+        )
+
+    runtime_ns = machine.run()
+    return GraphSimResult(
+        runtime_ns=runtime_ns,
+        sink_counts={name: counter.count for name, counter in sink_series.items()},
+        sink_series=sink_series,
+        memory=memory,
+        queue_peaks={
+            unit.queue_node.name: unit.sim_queue.peak_size
+            for unit in unit_list
+        },
+        machine=machine,
+    )

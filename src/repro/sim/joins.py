@@ -1,0 +1,222 @@
+"""Simulated DI execution of window joins (the Fig. 6 experiment).
+
+Section 6.3 runs a symmetric hash join (SHJ) and a symmetric
+nested-loops join (SNJ) with *direct interoperability and no queues*:
+"each join operator directly ran in the thread of its autonomous data
+sources."  Without a decoupling queue, the source thread itself
+executes the join work for every element it emits — so once the
+per-element join cost exceeds the interarrival time, the source cannot
+keep its schedule and the measured input rate collapses.  That collapse
+(SNJ first, SHJ later) is the paper's argument for decoupling.
+
+The engine here is *analytic*: instead of materializing join state, it
+tracks per-side sliding windows of arrival timestamps and charges a
+cost model per arrival:
+
+``cost = base + per_probe * probe_work + per_ingested * total_ingested
+       + per_result * matches``
+
+* ``probe_work`` is the opposite window size for SNJ and the expected
+  opposite hash-bucket population for SHJ — the same accounting the
+  executable kernels in :mod:`repro.operators.joins` expose via
+  ``last_probe_work`` (property-tested against each other).
+* ``per_ingested`` grows with the *cumulative* number of ingested
+  elements and applies to both joins: it models the steadily rising
+  per-operation price of a mid-2000s JVM under state churn (window
+  expiry turns every element into garbage; heaps grow, collections
+  lengthen, caches thrash).  This is what makes even the hash join
+  fall behind eventually — its probe work alone stays tiny.
+* expected matches accumulate fractionally and are emitted on integer
+  crossings, so result counts are deterministic.
+
+Both autonomous source threads synchronize on the join (a mutex
+modeled as a one-token queue), exactly like two Java threads pushing
+into one synchronized operator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Literal, Tuple
+
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.machine import Machine
+from repro.sim.metrics import ResultCounter, Series, arrival_rate_series
+from repro.sim.requests import Compute, Pop, Push, Sleep
+
+__all__ = ["JoinCostParams", "JoinExperimentConfig", "JoinRunResult", "run_di_join"]
+
+SECOND = 1_000_000_000
+
+JoinKind = Literal["shj", "snj"]
+
+
+@dataclass(frozen=True)
+class JoinCostParams:
+    """Join cost-model constants (nanoseconds).
+
+    Calibrated so that, at the paper's rates (1000 el/s per source,
+    one-minute windows), the SNJ's cost crosses the interarrival time
+    around t=17 s and the SHJ's around t=58 s — the collapse points
+    reported in Section 6.3.
+    """
+
+    base_ns: float = 2_000.0
+    per_probe_ns: float = 27.0
+    per_ingested_ns: float = 4.3
+    per_result_ns: float = 1_000.0
+
+
+@dataclass(frozen=True)
+class JoinExperimentConfig:
+    """One Fig. 6 run."""
+
+    kind: JoinKind
+    elements_per_source: int = 180_000
+    rate_per_second: float = 1_000.0
+    window_ns: int = 60 * SECOND
+    #: Key-space sizes of the two sources (paper: U[0,1e5] and U[0,1e4]).
+    key_space: Tuple[int, int] = (100_001, 10_001)
+    costs: JoinCostParams = field(default_factory=JoinCostParams)
+    machine_costs: CostModel = DEFAULT_COST_MODEL
+    n_cores: int = 2
+
+
+@dataclass
+class JoinRunResult:
+    """Measured outcome of one Fig. 6 run."""
+
+    config: JoinExperimentConfig
+    #: Join-input arrival timestamps (both sources merged, sorted).
+    arrivals_ns: List[int]
+    results: ResultCounter
+    finished_ns: int
+
+    def input_rate_series(
+        self, window_ns: int = 5 * SECOND, step_ns: int = SECOND
+    ) -> Series:
+        """The measured input rate over time (the Fig. 6 y-axis)."""
+        return arrival_rate_series(self.arrivals_ns, window_ns, step_ns)
+
+    def collapse_time_s(self, threshold_fraction: float = 0.9) -> float | None:
+        """First time the measured rate drops below the nominal rate.
+
+        Uses the combined rate of both sources; returns None if the
+        system kept pace for the whole run.
+        """
+        nominal = 2 * self.config.rate_per_second
+        nominal_end_ns = round(
+            self.config.elements_per_source
+            / self.config.rate_per_second
+            * SECOND
+        )
+        series = self.input_rate_series()
+        for time_ns, value in series.points():
+            # Skip the ramp-up second, and the natural rate fall-off
+            # after the nominal schedule end (stream exhausted, not
+            # collapsed).
+            if time_ns < 2 * SECOND or time_ns > nominal_end_ns:
+                continue
+            if value < threshold_fraction * nominal:
+                return time_ns / SECOND
+        return None
+
+
+class _AnalyticJoinState:
+    """Per-side arrival windows plus the deterministic cost/result model."""
+
+    def __init__(self, config: JoinExperimentConfig) -> None:
+        self.config = config
+        self.windows: Tuple[Deque[int], Deque[int]] = (deque(), deque())
+        self.total_ingested = 0
+        self._match_accumulator = 0.0
+        # P(two uniform values from the two ranges are equal): the
+        # smaller range is contained in the larger one, so a pair
+        # matches with probability 1/larger_range.
+        self._pair_match_probability = 1.0 / max(config.key_space)
+
+    def arrival(self, side: int, now_ns: int) -> Tuple[int, int]:
+        """Ingest one element on ``side`` at ``now_ns``.
+
+        Returns ``(cost_ns, new_results)``.
+        """
+        cutoff = now_ns - self.config.window_ns
+        for window in self.windows:
+            while window and window[0] <= cutoff:
+                window.popleft()
+        opposite = self.windows[1 - side]
+        w_opposite = len(opposite)
+        if self.config.kind == "snj":
+            probe_work = float(w_opposite)
+        else:
+            probe_work = w_opposite / self.config.key_space[1 - side]
+        expected_matches = w_opposite * self._pair_match_probability
+        self._match_accumulator += expected_matches
+        new_results = math.floor(self._match_accumulator)
+        self._match_accumulator -= new_results
+        params = self.config.costs
+        cost = (
+            params.base_ns
+            + params.per_probe_ns * probe_work
+            + params.per_ingested_ns * self.total_ingested
+            + params.per_result_ns * new_results
+        )
+        self.windows[side].append(now_ns)
+        self.total_ingested += 1
+        return round(cost), new_results
+
+
+def _join_source_program(
+    machine: Machine,
+    state: _AnalyticJoinState,
+    side: int,
+    config: JoinExperimentConfig,
+    mutex,
+    arrivals: List[int],
+    results: ResultCounter,
+):
+    """An autonomous source driving the join inline (DI, no queue)."""
+    gap = SECOND / config.rate_per_second
+    schedule = 0.0
+    for _ in range(config.elements_per_source):
+        schedule += gap
+        # Try to follow the schedule; when the previous element's join
+        # work overran, this Sleep is a no-op and the source lags —
+        # that lag is the measured rate collapse.
+        yield Sleep(until_ns=round(schedule))
+        # The join is one operator shared by both source threads: take
+        # its monitor, do the work, release.
+        yield Pop(mutex)
+        cost, new_results = state.arrival(side, machine.now)
+        yield Compute(cost)
+        arrivals.append(machine.now)
+        if new_results:
+            results.add(machine.now, new_results)
+        yield Push(mutex, "token")
+
+
+def run_di_join(config: JoinExperimentConfig) -> JoinRunResult:
+    """Execute one Fig. 6 configuration; returns the measured series."""
+    machine = Machine(n_cores=config.n_cores, cost_model=config.machine_costs)
+    mutex = machine.new_queue("join-mutex")
+    mutex.push("token")
+    state = _AnalyticJoinState(config)
+    arrivals: List[int] = []
+    results = ResultCounter("join-results")
+    for side in (0, 1):
+        machine.spawn(
+            _join_source_program(
+                machine, state, side, config, mutex, arrivals, results
+            ),
+            name=f"join-source-{side}",
+        )
+    finished = machine.run()
+    arrivals.sort()
+    return JoinRunResult(
+        config=config,
+        arrivals_ns=arrivals,
+        results=results,
+        finished_ns=finished,
+    )

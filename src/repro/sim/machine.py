@@ -1,0 +1,494 @@
+"""A deterministic discrete-event simulation of a multicore machine.
+
+Why this exists: the paper's evaluation ran on a dual-core 3 GHz
+machine with real Java threads.  CPython's GIL (and a single-core
+container) cannot reproduce multi-threaded timing, so every performance
+experiment in this library runs on this simulator instead: simulated
+threads execute on ``n_cores`` simulated cores under a preemptive
+round-robin OS scheduler with priorities, explicit context-switch
+costs, queue-synchronization costs, and wake-up latencies (see
+:class:`~repro.sim.costs.CostModel`).
+
+Programming model
+-----------------
+A simulated thread is a Python generator that ``yield``s
+:mod:`~repro.sim.requests` objects::
+
+    def worker(queue_in, queue_out):
+        while True:
+            batch = yield PopBatch(queue_in)       # blocks while empty
+            n = sum(weight for _, weight in batch)
+            yield Compute(n * 200)                  # 200 ns per element
+            yield Push(queue_out, make_item(n), weight=n)
+
+    machine = Machine(n_cores=2)
+    machine.spawn(worker(q_in, q_out), name="sel-0")
+    machine.run()
+
+Scheduling semantics
+--------------------
+* Ready threads are dispatched highest-priority first, FIFO within a
+  priority level — this is the paper's level-3 "preemptive
+  priority-based" thread scheduler (Section 4.2.2); equal priorities
+  degrade to plain OS round-robin.
+* A dispatched thread runs for at most one quantum; longer ``Compute``
+  requests are preempted and the thread re-queued.
+* Switching a core between different threads costs
+  ``context_switch_ns`` plus ``per_thread_switch_ns`` for every thread
+  currently alive — the working-set/scheduler pressure that makes
+  operator-threaded scheduling degrade with large thread counts
+  (Section 4.1.2: "the overhead of running each operator in a separate
+  thread inhibits the scalability").
+* ``Push``/``Pop`` charge the queue-synchronization costs; a ``Pop`` on
+  an empty queue blocks the thread, and the wake-up after a push costs
+  ``wake_ns``.
+
+Single-consumer discipline: at most one thread may pop from a given
+queue (all engines in this library satisfy this; it is what makes the
+simulation deterministic under lookahead).
+
+Determinism: no wall clock, no randomness — identical runs produce
+identical event sequences and timings on any platform.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.channel import SimQueue
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.requests import (
+    Compute,
+    Pop,
+    PopBatch,
+    Push,
+    Request,
+    Sleep,
+    WaitAny,
+    YieldCpu,
+)
+
+__all__ = ["Machine", "SimThread"]
+
+# Thread lifecycle states.
+_NEW = "new"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_SLEEPING = "sleeping"
+_DONE = "done"
+
+
+class SimThread:
+    """One simulated thread: a generator program plus scheduling state."""
+
+    def __init__(
+        self, program: Iterator[Request], name: str, priority: float
+    ) -> None:
+        self.program = program
+        self.name = name
+        self.priority = priority
+        self.state = _NEW
+        #: Remaining CPU demand of the current Compute request.
+        self.pending_ns = 0
+        #: Value to send into the generator on next resume.
+        self.send_value: Any = None
+        #: Request to retry at next dispatch (set when woken from a
+        #: blocking Pop/PopBatch).
+        self.retry_request: Optional[Request] = None
+        #: True when the next dispatch must charge the wake-up latency.
+        self.woken = False
+        #: Queues this thread is registered as a waiter on (blocked).
+        self.waiting_on: List[Any] = []
+        # Accounting.
+        self.cpu_ns = 0
+        self.dispatches = 0
+        self.blocks = 0
+        self.finished_at: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimThread {self.name!r} {self.state}>"
+
+
+class _Core:
+    """One simulated CPU core."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.thread: Optional[SimThread] = None
+        self.last_thread: Optional[SimThread] = None
+        self.busy_ns = 0
+
+
+class Machine:
+    """The simulated machine: cores, clock, event loop, queues, threads.
+
+    Args:
+        n_cores: Number of CPU cores (the paper's testbed had 2).
+        cost_model: Machine overhead constants.
+    """
+
+    def __init__(
+        self, n_cores: int = 2, cost_model: CostModel = DEFAULT_COST_MODEL
+    ) -> None:
+        if n_cores < 1:
+            raise SimulationError(f"n_cores must be >= 1, got {n_cores}")
+        self.n_cores = n_cores
+        self.cost = cost_model
+        self.now = 0
+        self._events: List[tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = itertools.count()
+        self._ready: List[tuple[float, int, SimThread]] = []  # heap
+        self._ready_seq = itertools.count()
+        self._cores = [_Core(i) for i in range(n_cores)]
+        self.threads: List[SimThread] = []
+        self.queues: List[SimQueue] = []
+        #: Total context switches performed.
+        self.context_switches = 0
+        #: Threads currently alive (spawned, not finished).
+        self.live_threads = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Construction API
+    # ------------------------------------------------------------------
+    def new_queue(self, name: str | None = None) -> SimQueue:
+        """Create a simulated decoupling queue."""
+        queue = SimQueue(name or f"queue-{len(self.queues)}", len(self.queues))
+        self.queues.append(queue)
+        return queue
+
+    def spawn(
+        self,
+        program: Iterator[Request],
+        name: str | None = None,
+        priority: float = 0.0,
+    ) -> SimThread:
+        """Register a thread; it becomes runnable at time 0 (or now)."""
+        thread = SimThread(program, name or f"thread-{len(self.threads)}", priority)
+        self.threads.append(thread)
+        self.live_threads += 1
+        self._make_ready(thread)
+        return thread
+
+    def set_priority(self, thread: SimThread, priority: float) -> None:
+        """Adapt a thread's priority at runtime (takes effect at its
+        next scheduling decision)."""
+        thread.priority = priority
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run the simulation to completion (or to ``until_ns``).
+
+        Returns the final simulated time in nanoseconds.
+
+        Raises:
+            DeadlockError: if threads remain blocked with no event that
+                could ever wake them.
+        """
+        self._ran = True
+        self._dispatch_idle_cores()
+        while self._events:
+            time, seq, action = heapq.heappop(self._events)
+            if until_ns is not None and time > until_ns:
+                # Put the event back so a later run() can continue.
+                heapq.heappush(self._events, (time, seq, action))
+                self.now = until_ns
+                return self.now
+            if time < self.now:
+                raise SimulationError(
+                    f"event time {time} precedes clock {self.now}"
+                )
+            self.now = time
+            action()
+            self._dispatch_idle_cores()
+        blocked = [t for t in self.threads if t.state in (_BLOCKED, _SLEEPING)]
+        if blocked:
+            names = ", ".join(t.name for t in blocked)
+            raise DeadlockError(
+                f"simulation stalled at t={self.now} ns with blocked "
+                f"threads: {names}"
+            )
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, delay_ns: int, action: Callable[[], None]) -> None:
+        if delay_ns < 0:
+            raise SimulationError(f"negative event delay {delay_ns}")
+        heapq.heappush(
+            self._events, (self.now + delay_ns, next(self._event_seq), action)
+        )
+
+    def _make_ready(self, thread: SimThread) -> None:
+        thread.state = _READY
+        heapq.heappush(
+            self._ready, (-thread.priority, next(self._ready_seq), thread)
+        )
+
+    def _dispatch_idle_cores(self) -> None:
+        for core in self._cores:
+            if core.thread is not None:
+                continue
+            thread = self._next_ready()
+            if thread is None:
+                return
+            self._dispatch(core, thread)
+
+    def _next_ready(self) -> Optional[SimThread]:
+        while self._ready:
+            _, _, thread = heapq.heappop(self._ready)
+            if thread.state == _READY:
+                return thread
+        return None
+
+    def _switch_cost(self, core: _Core, thread: SimThread) -> int:
+        if core.last_thread is thread:
+            return 0
+        self.context_switches += 1
+        return self.cost.context_switch_ns + round(
+            self.cost.per_thread_switch_ns * self.live_threads
+        )
+
+    def _dispatch(self, core: _Core, thread: SimThread) -> None:
+        core.thread = thread
+        thread.state = _RUNNING
+        thread.dispatches += 1
+        overhead = self._switch_cost(core, thread)
+        if thread.woken:
+            overhead += self.cost.wake_ns
+            thread.woken = False
+        core.last_thread = thread
+        self._run_slice(core, thread, offset=overhead, quantum_left=self.cost.quantum_ns)
+
+    def _run_slice(
+        self, core: _Core, thread: SimThread, offset: int, quantum_left: int
+    ) -> None:
+        """Advance ``thread`` on ``core``; schedule its next transition.
+
+        ``offset`` is CPU time already consumed in this slice before the
+        point we are simulating (dispatch overhead, completed charges).
+        Exactly one event is scheduled before returning.
+        """
+        while True:
+            # Work off pending compute first.
+            if thread.pending_ns > 0:
+                take = min(thread.pending_ns, quantum_left)
+                if take < thread.pending_ns:
+                    # Quantum exhausted mid-compute: preempt.
+                    thread.pending_ns -= take
+                    self._charge(core, thread, offset + take)
+                    self._schedule(
+                        offset + take, lambda c=core, t=thread: self._preempt(c, t)
+                    )
+                    return
+                offset += take
+                quantum_left -= take
+                thread.pending_ns = 0
+
+            # Retry a blocking request we were woken for.
+            if thread.retry_request is not None:
+                request = thread.retry_request
+                thread.retry_request = None
+            else:
+                try:
+                    request = thread.program.send(thread.send_value)
+                except StopIteration:
+                    self._charge(core, thread, offset)
+                    self._schedule(
+                        offset, lambda c=core, t=thread: self._finish(c, t)
+                    )
+                    return
+                finally:
+                    thread.send_value = None
+
+            if isinstance(request, Compute):
+                thread.pending_ns = request.duration_ns
+                continue
+
+            if isinstance(request, Push):
+                charge = self.cost.enqueue_ns * max(1, request.weight)
+                self._charge(core, thread, offset + charge)
+                self._schedule(
+                    offset + charge,
+                    lambda c=core, t=thread, r=request, q=quantum_left - charge: (
+                        self._complete_push(c, t, r, q)
+                    ),
+                )
+                return
+
+            if isinstance(request, (Pop, PopBatch)):
+                self._charge(core, thread, offset)
+                self._schedule(
+                    offset,
+                    lambda c=core, t=thread, r=request, q=quantum_left: (
+                        self._attempt_pop(c, t, r, q)
+                    ),
+                )
+                return
+
+            if isinstance(request, WaitAny):
+                self._charge(core, thread, offset)
+                self._schedule(
+                    offset,
+                    lambda c=core, t=thread, r=request, q=quantum_left: (
+                        self._attempt_wait_any(c, t, r, q)
+                    ),
+                )
+                return
+
+            if isinstance(request, Sleep):
+                self._charge(core, thread, offset)
+                self._schedule(
+                    offset,
+                    lambda c=core, t=thread, r=request: self._begin_sleep(c, t, r),
+                )
+                return
+
+            if isinstance(request, YieldCpu):
+                self._charge(core, thread, offset)
+                self._schedule(
+                    offset, lambda c=core, t=thread: self._preempt(c, t)
+                )
+                return
+
+            raise SimulationError(
+                f"thread {thread.name!r} yielded unknown request {request!r}"
+            )
+
+    def _charge(self, core: _Core, thread: SimThread, cpu_ns: int) -> None:
+        thread.cpu_ns += cpu_ns
+        core.busy_ns += cpu_ns
+
+    # --- transition handlers (run as events at their exact times) ------
+    def _release_core(self, core: _Core) -> None:
+        core.thread = None
+
+    def _preempt(self, core: _Core, thread: SimThread) -> None:
+        self._release_core(core)
+        self._make_ready(thread)
+
+    def _finish(self, core: _Core, thread: SimThread) -> None:
+        self._release_core(core)
+        thread.state = _DONE
+        thread.finished_at = self.now
+        self.live_threads -= 1
+
+    def _complete_push(
+        self, core: _Core, thread: SimThread, request: Push, quantum_left: int
+    ) -> None:
+        request.queue.push(request.item, request.weight)
+        self._wake_waiter(request.queue)
+        if quantum_left <= 0:
+            self._preempt(core, thread)
+            return
+        self._run_slice(core, thread, offset=0, quantum_left=quantum_left)
+
+    def _wake_waiter(self, queue: SimQueue) -> None:
+        if queue.waiters:
+            waiter = queue.waiters.pop(0)
+            # The waiter may be registered on several queues (WaitAny);
+            # deregister it everywhere before making it runnable.
+            for other in waiter.waiting_on:
+                if other is not queue and waiter in other.waiters:
+                    other.waiters.remove(waiter)
+            waiter.waiting_on = []
+            waiter.woken = True
+            self._make_ready(waiter)
+
+    def _attempt_pop(
+        self,
+        core: _Core,
+        thread: SimThread,
+        request: Pop | PopBatch,
+        quantum_left: int,
+    ) -> None:
+        queue = request.queue
+        if queue.empty:
+            # Block: free the core and wait for a push.
+            self._release_core(core)
+            thread.state = _BLOCKED
+            thread.blocks += 1
+            thread.retry_request = request
+            queue.waiters.append(thread)
+            thread.waiting_on = [queue]
+            return
+        if isinstance(request, Pop):
+            item, weight = queue.pop()
+            charge = self.cost.dequeue_ns * max(1, weight)
+            result: Any = item
+        else:
+            batch = queue.pop_batch(request.max_items)
+            total_weight = sum(weight for _, weight in batch)
+            charge = self.cost.dequeue_ns * max(len(batch), total_weight)
+            result = batch
+        self._charge(core, thread, charge)
+        thread.send_value = result
+        self._schedule(
+            charge,
+            lambda c=core, t=thread, q=quantum_left - charge: (
+                self._after_charge(c, t, q)
+            ),
+        )
+
+    def _after_charge(
+        self, core: _Core, thread: SimThread, quantum_left: int
+    ) -> None:
+        if quantum_left <= 0:
+            self._preempt(core, thread)
+            return
+        self._run_slice(core, thread, offset=0, quantum_left=quantum_left)
+
+    def _attempt_wait_any(
+        self,
+        core: _Core,
+        thread: SimThread,
+        request: WaitAny,
+        quantum_left: int,
+    ) -> None:
+        ready = [queue for queue in request.queues if not queue.empty]
+        if ready:
+            thread.send_value = ready
+            self._after_charge(core, thread, quantum_left)
+            return
+        self._release_core(core)
+        thread.state = _BLOCKED
+        thread.blocks += 1
+        thread.retry_request = request
+        thread.waiting_on = list(request.queues)
+        for queue in request.queues:
+            queue.waiters.append(thread)
+
+    def _begin_sleep(self, core: _Core, thread: SimThread, request: Sleep) -> None:
+        self._release_core(core)
+        if request.until_ns <= self.now:
+            self._make_ready(thread)
+            return
+        thread.state = _SLEEPING
+        self._schedule(
+            request.until_ns - self.now,
+            lambda t=thread: self._make_ready(t),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Mean fraction of core time spent busy since time zero."""
+        if self.now == 0:
+            return 0.0
+        total = sum(core.busy_ns for core in self._cores)
+        return total / (self.now * self.n_cores)
+
+    def thread_by_name(self, name: str) -> SimThread:
+        """Find a thread by its name."""
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise SimulationError(f"no thread named {name!r}")

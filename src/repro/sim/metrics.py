@@ -1,0 +1,153 @@
+"""Measurement utilities for simulated runs.
+
+Provides the time-series the paper's figures plot:
+
+* :class:`Series` — ``(time_ns, value)`` pairs with resampling helpers.
+* :class:`ResultCounter` — cumulative result count with per-increment
+  timestamps (Fig. 10's "number of results over time").
+* :func:`sampler_program` — a simulated thread that periodically probes
+  arbitrary gauges (e.g. total queued elements for Fig. 9) and stops
+  itself when it is the last thread alive.
+* :func:`arrival_rate_series` — turn raw arrival timestamps into a
+  sliding-window rate series (Fig. 6's "input rate over time").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.sim.machine import Machine
+from repro.sim.requests import Sleep
+
+__all__ = [
+    "Series",
+    "ResultCounter",
+    "sampler_program",
+    "arrival_rate_series",
+]
+
+SECOND = 1_000_000_000
+
+
+class Series:
+    """An append-only ``(time_ns, value)`` series."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        """Append one observation (times must be non-decreasing)."""
+        if self.times and time_ns < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time {time_ns} < {self.times[-1]}"
+            )
+        self.times.append(time_ns)
+        self.values.append(value)
+
+    def value_at(self, time_ns: int, default: float = 0.0) -> float:
+        """Step-interpolated value at ``time_ns``."""
+        index = bisect_right(self.times, time_ns) - 1
+        if index < 0:
+            return default
+        return self.values[index]
+
+    def max_value(self) -> float:
+        """Largest recorded value (0.0 when empty)."""
+        return max(self.values, default=0.0)
+
+    def points(self) -> Iterator[Tuple[int, float]]:
+        return iter(zip(self.times, self.values))
+
+    def resampled(self, step_ns: int, until_ns: int | None = None) -> "Series":
+        """A step-sampled copy on a regular grid (for plotting/tables)."""
+        out = Series(f"{self.name}@{step_ns}")
+        if not self.times and until_ns is None:
+            return out
+        end = until_ns if until_ns is not None else self.times[-1]
+        t = 0
+        while t <= end:
+            out.record(t, self.value_at(t))
+            t += step_ns
+        return out
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class ResultCounter:
+    """Counts results and remembers when each increment happened."""
+
+    def __init__(self, name: str = "results") -> None:
+        self.name = name
+        self.count = 0
+        self.series = Series(name)
+
+    def add(self, time_ns: int, count: int = 1) -> None:
+        """Record ``count`` results produced at ``time_ns``."""
+        if count <= 0:
+            return
+        self.count += count
+        self.series.record(time_ns, self.count)
+
+    def completed_at(self) -> int | None:
+        """Time of the last result (None when no result yet)."""
+        return self.series.times[-1] if self.series.times else None
+
+
+def sampler_program(
+    machine: Machine,
+    interval_ns: int,
+    probes: Dict[str, Callable[[], float]],
+    series: Dict[str, Series],
+):
+    """A simulated thread sampling ``probes`` every ``interval_ns``.
+
+    The sampler consumes no CPU (pure measurement) and exits once every
+    other thread has finished, so it never keeps the simulation alive
+    on its own.
+
+    Args:
+        machine: The machine to sample (for the clock and liveness).
+        interval_ns: Sampling period in simulated nanoseconds.
+        probes: Gauge callables by name.
+        series: Output series by the same names.
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+    next_tick = 0
+    while True:
+        for name, probe in probes.items():
+            series[name].record(machine.now, probe())
+        if machine.live_threads <= 1:
+            return
+        next_tick += interval_ns
+        yield Sleep(until_ns=next_tick)
+
+
+def arrival_rate_series(
+    arrival_times_ns: Sequence[int],
+    window_ns: int = 5 * SECOND,
+    step_ns: int = SECOND,
+) -> Series:
+    """Sliding-window arrival rate (elements/second) over time.
+
+    Args:
+        arrival_times_ns: Sorted arrival timestamps.
+        window_ns: Averaging window.
+        step_ns: Output sampling period.
+    """
+    series = Series("arrival-rate")
+    if not arrival_times_ns:
+        return series
+    end = arrival_times_ns[-1]
+    t = 0
+    while t <= end + step_ns:
+        lo = bisect_left(arrival_times_ns, t - window_ns + 1)
+        hi = bisect_right(arrival_times_ns, t)
+        effective_window = min(window_ns, max(t, 1))
+        series.record(t, (hi - lo) * SECOND / effective_window)
+        t += step_ns
+    return series

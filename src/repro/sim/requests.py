@@ -1,0 +1,111 @@
+"""Requests a simulated thread can yield to the machine.
+
+A simulated thread is a Python generator; each ``yield`` hands the
+machine a request describing what the thread wants to do next.  The
+machine charges simulated CPU time, performs the effect, and resumes
+the generator with the request's result (where one exists).
+
+Requests:
+
+* :class:`Compute` — burn CPU for a given duration (preemptible).
+* :class:`Push` — enqueue an item (charges ``enqueue_ns * weight``).
+* :class:`Pop` — dequeue one item, blocking while the queue is empty
+  (charges ``dequeue_ns * weight``); resumes with the item.
+* :class:`PopBatch` — dequeue up to ``max_items`` buffered items in one
+  go, blocking only if the queue is empty; resumes with a list.
+* :class:`Sleep` — block until an absolute simulated time (sources use
+  this to follow their emission schedule).
+* :class:`YieldCpu` — go to the back of the ready queue voluntarily.
+* :class:`WaitAny` — block until any of several queues is non-empty
+  (what a level-2 scheduler thread does when all its queues run dry);
+  resumes with the list of currently non-empty queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.channel import SimQueue
+
+__all__ = [
+    "Compute",
+    "Push",
+    "Pop",
+    "PopBatch",
+    "Sleep",
+    "YieldCpu",
+    "WaitAny",
+    "Request",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Burn ``duration_ns`` of CPU time (preempted at quantum edges)."""
+
+    duration_ns: int
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ValueError(f"negative compute duration {self.duration_ns}")
+
+
+@dataclass(frozen=True, slots=True)
+class Push:
+    """Enqueue ``item`` with ``weight`` stream elements into ``queue``."""
+
+    queue: "SimQueue"
+    item: Any
+    weight: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Pop:
+    """Dequeue one item from ``queue``; blocks while empty."""
+
+    queue: "SimQueue"
+
+
+@dataclass(frozen=True, slots=True)
+class PopBatch:
+    """Dequeue up to ``max_items`` items; blocks only when empty.
+
+    ``max_items=None`` drains everything currently buffered — the
+    paper's "runs ... as long as elements for processing are available"
+    batch semantics.
+    """
+
+    queue: "SimQueue"
+    max_items: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Block until the absolute simulated time ``until_ns``."""
+
+    until_ns: int
+
+
+@dataclass(frozen=True, slots=True)
+class YieldCpu:
+    """Voluntarily reschedule (cooperative yield)."""
+
+
+@dataclass(frozen=True, slots=True)
+class WaitAny:
+    """Block until any of ``queues`` is non-empty.
+
+    Resumes with the list of non-empty queues at wake time.  Like the
+    Pop requests, this is only safe under the single-consumer
+    discipline (no other thread may pop from these queues).
+    """
+
+    queues: tuple
+
+    def __init__(self, queues) -> None:
+        object.__setattr__(self, "queues", tuple(queues))
+
+
+Request = Compute | Push | Pop | PopBatch | Sleep | YieldCpu | WaitAny

@@ -1,0 +1,5 @@
+"""Runtime cost/rate statistics (c(v), d(v)) for the placement heuristic."""
+
+from repro.stats.estimators import OperatorStatistics, StatisticsRegistry
+
+__all__ = ["OperatorStatistics", "StatisticsRegistry"]

@@ -1,0 +1,108 @@
+"""Runtime metadata collection for the placement heuristic.
+
+Paper Section 5.1.3: "We assume that the required values c(v) and d(v),
+v in V, are meta data provided by the DSMS during runtime.  An
+alternative that saves overhead is to estimate them with respect to a
+suitable model."
+
+:class:`OperatorStatistics` measures both quantities for one operator:
+``c(v)`` from observed per-element processing durations and ``d(v)``
+from observed arrival gaps, each via EWMA.  :class:`StatisticsRegistry`
+holds statistics per graph node and can write the estimates back into
+the node annotations that :mod:`repro.core.placement` consumes — or
+fall back to declared values when measurements are missing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+from repro.streams.rates import EwmaEstimator, InterarrivalTracker
+
+__all__ = ["OperatorStatistics", "StatisticsRegistry"]
+
+
+class OperatorStatistics:
+    """Measured ``c(v)`` and ``d(v)`` for one operator.
+
+    Feed it one :meth:`observe` call per processed element.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self._cost = EwmaEstimator(alpha)
+        self._arrivals = InterarrivalTracker(alpha)
+
+    def observe(self, arrival_ns: int, processing_ns: float) -> None:
+        """Record one element: its arrival time and processing duration."""
+        self._arrivals.observe_arrival(arrival_ns)
+        self._cost.observe(processing_ns)
+
+    @property
+    def elements(self) -> int:
+        """Number of elements observed."""
+        return self._arrivals.arrivals
+
+    @property
+    def cost_ns(self) -> float | None:
+        """Estimated per-element processing cost, ``c(v)``."""
+        return self._cost.value
+
+    @property
+    def interarrival_ns(self) -> float | None:
+        """Estimated input interarrival time, ``d(v)``."""
+        return self._arrivals.interarrival_ns
+
+    @property
+    def utilization(self) -> float | None:
+        """``c(v) / d(v)``: fraction of time the operator is busy.
+
+        Above 1.0 the operator cannot keep pace with its input — by
+        itself it already needs decoupling from its upstream.
+        """
+        cost, gap = self._cost.value, self._arrivals.interarrival_ns
+        if cost is None or gap is None or gap <= 0:
+            return None
+        return cost / gap
+
+
+class StatisticsRegistry:
+    """Per-node statistics for a query graph."""
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self._alpha = alpha
+        self._stats: Dict[Node, OperatorStatistics] = {}
+
+    def for_node(self, node: Node) -> OperatorStatistics:
+        """The statistics object for ``node``, created on first use."""
+        stats = self._stats.get(node)
+        if stats is None:
+            stats = OperatorStatistics(self._alpha)
+            self._stats[node] = stats
+        return stats
+
+    def observe(self, node: Node, arrival_ns: int, processing_ns: float) -> None:
+        """Record one processed element for ``node``."""
+        self.for_node(node).observe(arrival_ns, processing_ns)
+
+    def annotate(self, graph: QueryGraph, min_elements: int = 2) -> None:
+        """Write measured estimates into the graph's node annotations.
+
+        Nodes with fewer than ``min_elements`` observations keep their
+        declared values (the "suitable model" fallback).
+        """
+        for node in graph.operators(include_queues=False):
+            stats = self._stats.get(node)
+            if stats is None or stats.elements < min_elements:
+                continue
+            if stats.cost_ns is not None:
+                node.cost_ns = stats.cost_ns
+            if stats.interarrival_ns is not None:
+                node.interarrival_ns = stats.interarrival_ns
+
+    def __iter__(self) -> Iterator[tuple[Node, OperatorStatistics]]:
+        return iter(self._stats.items())
+
+    def __len__(self) -> int:
+        return len(self._stats)

@@ -1,0 +1,105 @@
+"""Stream elements and punctuations.
+
+A data stream is a potentially unbounded sequence of
+:class:`StreamElement` objects, each carrying a payload ``value`` and an
+application ``timestamp`` (integer nanoseconds).
+
+The paper (Section 2.2) points out that the classic open-next-close
+``hasNext`` contract is ambiguous over streams: "no element right now"
+and "no element ever again" both look like ``False``.  PIPES resolves
+this with special control elements; we model them as *punctuations*:
+
+* :data:`END_OF_STREAM` — no element will ever be delivered again.
+* :data:`NO_ELEMENT` — the queue is currently empty, but more data may
+  arrive (used by pull-based proxies, Section 3.2).
+
+Punctuations carry no payload and "do not affect the results computed by
+the operator" — operators forward :data:`END_OF_STREAM` after flushing
+any pending state and must never emit output for :data:`NO_ELEMENT`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+__all__ = [
+    "StreamElement",
+    "Punctuation",
+    "PunctuationKind",
+    "END_OF_STREAM",
+    "NO_ELEMENT",
+    "is_data",
+    "is_end",
+    "is_no_element",
+]
+
+_ELEMENT_SEQUENCE = count()
+
+
+@dataclass(frozen=True, slots=True)
+class StreamElement:
+    """One data element of a stream.
+
+    Attributes:
+        value: The payload.  The substrate is payload-agnostic; operators
+            interpret it (tuples, dicts, numbers, ...).
+        timestamp: Application time in integer nanoseconds.  Windows and
+            joins use this, never wall-clock time.
+        seq: A process-wide monotonically increasing sequence number,
+            assigned at construction.  Used for deterministic FIFO
+            tie-breaking in schedulers; not part of equality.
+    """
+
+    value: Any
+    timestamp: int = 0
+    seq: int = field(
+        default_factory=lambda: next(_ELEMENT_SEQUENCE), compare=False
+    )
+
+    def with_value(self, value: Any) -> "StreamElement":
+        """Return a copy carrying ``value`` but the same timestamp."""
+        return StreamElement(value=value, timestamp=self.timestamp)
+
+
+class PunctuationKind(enum.Enum):
+    """The kinds of control elements that may flow through a stream."""
+
+    #: The stream is closed: no element will ever be delivered again.
+    END_OF_STREAM = "end-of-stream"
+    #: The queue is currently empty but the stream is still open.
+    NO_ELEMENT = "no-element"
+
+
+@dataclass(frozen=True, slots=True)
+class Punctuation:
+    """A control element; carries no payload and produces no results."""
+
+    kind: PunctuationKind
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Punctuation {self.kind.value}>"
+
+
+#: Singleton punctuation: the stream has ended (``hasNext`` is truly false).
+END_OF_STREAM = Punctuation(PunctuationKind.END_OF_STREAM)
+
+#: Singleton punctuation: no element available *right now* (stream open).
+NO_ELEMENT = Punctuation(PunctuationKind.NO_ELEMENT)
+
+
+def is_data(item: object) -> bool:
+    """Return True if ``item`` is a payload-carrying stream element."""
+    return isinstance(item, StreamElement)
+
+
+def is_end(item: object) -> bool:
+    """Return True if ``item`` is the end-of-stream punctuation."""
+    return isinstance(item, Punctuation) and item.kind is PunctuationKind.END_OF_STREAM
+
+
+def is_no_element(item: object) -> bool:
+    """Return True if ``item`` is the no-element-right-now punctuation."""
+    return isinstance(item, Punctuation) and item.kind is PunctuationKind.NO_ELEMENT

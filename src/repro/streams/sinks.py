@@ -1,0 +1,152 @@
+"""Sinks: the consuming ends of a query graph.
+
+Paper Section 2.1: "Sources, such as sensors, only deliver data, while
+sinks only consume data."  A sink here is a push receiver with a
+``receive(element)`` method and an ``on_end()`` notification; engines
+call these as results arrive.  The provided sinks cover the measurement
+needs of the evaluation: collecting results, counting them, recording
+result timestamps (Fig. 10's "number of results over time"), and
+measuring latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.streams.elements import StreamElement
+
+__all__ = [
+    "Sink",
+    "CollectingSink",
+    "CountingSink",
+    "TimestampedCountSink",
+    "LatencySink",
+    "CallbackSink",
+]
+
+
+class Sink:
+    """Base class for sinks.
+
+    Subclasses override :meth:`receive`; :meth:`on_end` is called once
+    when every input stream of the sink has ended.
+    """
+
+    name: str = "sink"
+
+    def __init__(self, name: str | None = None) -> None:
+        if name is not None:
+            self.name = name
+        self._ended = False
+
+    @property
+    def ended(self) -> bool:
+        """True once :meth:`on_end` has been called."""
+        return self._ended
+
+    def receive(self, element: StreamElement) -> None:
+        """Consume one result element."""
+        raise NotImplementedError
+
+    def on_end(self) -> None:
+        """Notification that no further element will arrive."""
+        self._ended = True
+
+
+class CollectingSink(Sink):
+    """Stores every received element, in arrival order."""
+
+    def __init__(self, name: str = "collecting-sink") -> None:
+        super().__init__(name)
+        self.elements: List[StreamElement] = []
+
+    def receive(self, element: StreamElement) -> None:
+        self.elements.append(element)
+
+    @property
+    def values(self) -> list[Any]:
+        """The payloads of all received elements, in arrival order."""
+        return [element.value for element in self.elements]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+class CountingSink(Sink):
+    """Counts received elements without storing them."""
+
+    def __init__(self, name: str = "counting-sink") -> None:
+        super().__init__(name)
+        self.count = 0
+
+    def receive(self, element: StreamElement) -> None:
+        self.count += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class TimestampedCountSink(Sink):
+    """Records ``(arrival_time_ns, cumulative_count)`` pairs.
+
+    The arrival time is supplied by the engine via
+    :meth:`receive_at` (simulated engines know the current simulated
+    time); plain :meth:`receive` falls back to the element timestamp.
+    This produces exactly the "number of results over time" series of
+    Fig. 10.
+    """
+
+    def __init__(self, name: str = "timestamped-count-sink") -> None:
+        super().__init__(name)
+        self.count = 0
+        self.series: list[tuple[int, int]] = []
+
+    def receive_at(self, element: StreamElement, now_ns: int) -> None:
+        """Consume ``element`` observed at engine time ``now_ns``."""
+        self.count += 1
+        self.series.append((now_ns, self.count))
+
+    def receive(self, element: StreamElement) -> None:
+        self.receive_at(element, element.timestamp)
+
+
+class LatencySink(Sink):
+    """Records per-element latency: observation time minus timestamp."""
+
+    def __init__(self, name: str = "latency-sink") -> None:
+        super().__init__(name)
+        self.latencies_ns: list[int] = []
+
+    def receive_at(self, element: StreamElement, now_ns: int) -> None:
+        """Consume ``element`` observed at engine time ``now_ns``."""
+        self.latencies_ns.append(now_ns - element.timestamp)
+
+    def receive(self, element: StreamElement) -> None:
+        self.receive_at(element, element.timestamp)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Mean latency over all received elements (0.0 if none)."""
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+    @property
+    def max_latency_ns(self) -> int:
+        """Maximum latency over all received elements (0 if none)."""
+        return max(self.latencies_ns, default=0)
+
+
+class CallbackSink(Sink):
+    """Invokes a user callback for every received element."""
+
+    def __init__(
+        self,
+        callback: Callable[[StreamElement], None],
+        name: str = "callback-sink",
+    ) -> None:
+        super().__init__(name)
+        self._callback = callback
+
+    def receive(self, element: StreamElement) -> None:
+        self._callback(element)

@@ -1,0 +1,115 @@
+"""Tests for windowed aggregation."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.aggregate import IncrementalAggregate, WindowedAggregate
+from repro.streams.elements import StreamElement
+
+
+def element(value, timestamp):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestWindowedAggregate:
+    def test_count_over_window(self):
+        agg = WindowedAggregate(window_ns=100, aggregate="count")
+        outs = [agg.process(element(i, t))[0].value for i, t in enumerate((0, 10, 20))]
+        assert outs == [1, 2, 3]
+
+    def test_expiry_shrinks_aggregate(self):
+        agg = WindowedAggregate(window_ns=100, aggregate="count")
+        agg.process(element(1, 0))
+        out = agg.process(element(2, 150))
+        assert out[0].value == 1
+
+    def test_sum(self):
+        agg = WindowedAggregate(window_ns=1000, aggregate="sum")
+        agg.process(element(10, 0))
+        assert agg.process(element(5, 1))[0].value == 15
+
+    def test_avg(self):
+        agg = WindowedAggregate(window_ns=1000, aggregate="avg")
+        agg.process(element(10, 0))
+        assert agg.process(element(20, 1))[0].value == 15.0
+
+    def test_min_max(self):
+        mn = WindowedAggregate(window_ns=1000, aggregate="min")
+        mx = WindowedAggregate(window_ns=1000, aggregate="max")
+        for v, t in ((5, 0), (3, 1), (9, 2)):
+            out_min = mn.process(element(v, t))
+            out_max = mx.process(element(v, t))
+        assert out_min[0].value == 3
+        assert out_max[0].value == 9
+
+    def test_group_by(self):
+        agg = WindowedAggregate(
+            window_ns=1000,
+            aggregate="sum",
+            key_fn=lambda v: v[0],
+            value_fn=lambda v: v[1],
+        )
+        agg.process(element(("a", 1), 0))
+        agg.process(element(("b", 10), 1))
+        out = agg.process(element(("a", 2), 2))
+        assert out[0].value == ("a", 3)
+
+    def test_custom_callable(self):
+        agg = WindowedAggregate(window_ns=1000, aggregate=lambda vs: sorted(vs)[0])
+        agg.process(element(4, 0))
+        assert agg.process(element(2, 1))[0].value == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OperatorError):
+            WindowedAggregate(window_ns=10, aggregate="median")
+
+    def test_state_size(self):
+        agg = WindowedAggregate(window_ns=1000)
+        agg.process(element(1, 0))
+        agg.process(element(2, 1))
+        assert agg.state_size() == 2
+
+    def test_reset(self):
+        agg = WindowedAggregate(window_ns=1000)
+        agg.process(element(1, 0))
+        agg.reset()
+        assert agg.state_size() == 0
+
+
+class TestIncrementalAggregate:
+    def test_matches_windowed_sum(self):
+        import random
+
+        rng = random.Random(3)
+        win = WindowedAggregate(window_ns=50, aggregate="sum")
+        inc = IncrementalAggregate(window_ns=50, aggregate="sum")
+        t = 0
+        for _ in range(300):
+            t += rng.randint(0, 20)
+            v = rng.randint(-5, 5)
+            expected = win.process(element(v, t))[0].value
+            got = inc.process(element(v, t))[0].value
+            assert got == pytest.approx(expected)
+
+    def test_matches_windowed_avg(self):
+        win = WindowedAggregate(window_ns=30, aggregate="avg")
+        inc = IncrementalAggregate(window_ns=30, aggregate="avg")
+        for v, t in ((1, 0), (2, 10), (30, 40), (4, 45)):
+            expected = win.process(element(v, t))[0].value
+            got = inc.process(element(v, t))[0].value
+            assert got == pytest.approx(expected)
+
+    def test_count(self):
+        inc = IncrementalAggregate(window_ns=100, aggregate="count")
+        inc.process(element(1, 0))
+        assert inc.process(element(1, 10))[0].value == 2
+
+    def test_rejects_min(self):
+        with pytest.raises(OperatorError):
+            IncrementalAggregate(window_ns=10, aggregate="min")
+
+    def test_reset(self):
+        inc = IncrementalAggregate(window_ns=100, aggregate="sum")
+        inc.process(element(5, 0))
+        inc.reset()
+        assert inc.process(element(3, 0))[0].value == pytest.approx(3)

@@ -1,0 +1,66 @@
+"""Tests for the repro-bench CLI and the reporting helpers."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+from repro.bench.harness import ascii_chart, format_series_table, format_table
+
+
+class TestHarnessHelpers:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        # All lines equally wide (padded).
+        assert len({len(line.rstrip()) for line in lines}) >= 1
+
+    def test_ascii_chart_scales_to_max(self):
+        chart = ascii_chart("x", [0.0, 5.0, 10.0])
+        assert chart.startswith("x |")
+        assert chart.endswith("max=10")
+        assert "@" in chart  # the peak renders as the densest glyph
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart("x", [])
+
+    def test_ascii_chart_downsamples(self):
+        chart = ascii_chart("x", list(range(1_000)), width=20)
+        bar = chart.split("|")[1]
+        assert len(bar) == 20
+
+    def test_format_series_table(self):
+        text = format_series_table(
+            ["t", "a", "b"], [0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]]
+        )
+        assert "3.0" in text and "4.0" in text
+
+
+class TestCli:
+    def test_single_quick_experiment(self, capsys):
+        assert main(["fig11", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "stall-avoiding" in out
+
+    def test_fig9_and_fig10_deduplicated(self, capsys):
+        assert main(["fig9", "fig10", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        # One shared run reports both figures once.
+        assert out.count("Figure 9 - queue memory") == 1
+        assert out.count("Figure 10 - cumulative results") == 1
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+        }

@@ -1,0 +1,156 @@
+"""Tests for the Figure 6-11 experiment harness (tiny scales)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablations,
+    fig06_decoupling,
+    fig07_gts_ots_di,
+    fig08_ots_scalability,
+    fig09_10_hmts_vs_gts,
+    fig11_vo_construction,
+)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_decoupling.run(scale=0.12)  # ~21 s of stream
+
+    def test_runs_both_joins(self, result):
+        assert set(result.runs) == {"snj", "shj"}
+
+    def test_snj_collapses_first(self, result):
+        collapse = result.collapse_times_s()
+        assert collapse["snj"] is not None
+        assert collapse["shj"] is None or collapse["shj"] > collapse["snj"]
+
+    def test_report_mentions_paper_values(self, result):
+        text = fig06_decoupling.report(result)
+        assert "paper ~17 s" in text
+        assert "paper ~58 s" in text
+        assert "SNJ rate" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_gts_ots_di.run(scale=0.05, n_points=2)
+
+    def test_paper_ordering(self, result):
+        for index in range(len(result.m_values)):
+            di = result.runtimes_s["di"][index]
+            ots = result.runtimes_s["ots"][index]
+            gts = result.runtimes_s["gts"][index]
+            assert di < ots < gts
+
+    def test_di_roughly_40_percent_faster(self, result):
+        ratio = result.runtimes_s["ots"][-1] / result.runtimes_s["di"][-1]
+        assert 1.1 <= ratio <= 1.8
+
+    def test_report_contains_table(self, result):
+        text = fig07_gts_ots_di.report(result)
+        assert "OTS/DI" in text and "GTS" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08_ots_scalability.run(scale=0.05, q_values=[1, 8, 20])
+
+    def test_gap_widens(self, result):
+        gaps = [
+            ots - di
+            for ots, di in zip(result.runtimes_s["ots"], result.runtimes_s["di"])
+        ]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > gaps[0]
+
+    def test_thread_counts(self, result):
+        # OTS: (5 ops + 1 source) per query; DI: (1 worker + 1 source).
+        assert result.threads["ots"] == [6 * q for q in result.q_values]
+        assert result.threads["di"] == [2 * q for q in result.q_values]
+
+    def test_report_mentions_shape(self, result):
+        assert "the better DI" in fig08_ots_scalability.report(result)
+
+
+class TestFig910:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_10_hmts_vs_gts.run(scale=0.02)
+
+    def test_hmts_fastest(self, result):
+        finish = result.finish_times_s()
+        assert finish["hmts"] < finish["gts-fifo"]
+        assert finish["hmts"] < finish["gts-chain"]
+
+    def test_equal_result_counts(self, result):
+        counts = {run.results.count for run in result.runs.values()}
+        assert len(counts) == 1
+
+    def test_times_reported_in_paper_seconds(self, result):
+        # The scaled run compresses time; finish times must be scaled
+        # back to the paper's ~160-280 s range.
+        finish = result.finish_times_s()
+        assert 120 <= finish["hmts"] <= 220
+        assert 200 <= finish["gts-fifo"] <= 320
+
+    def test_report_has_both_figures(self, result):
+        text = fig09_10_hmts_vs_gts.report(result)
+        assert "Figure 9" in text and "Figure 10" in text
+        assert "finish: hmts" in text
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_vo_construction.run(sizes=[20, 60], graphs_per_size=3)
+
+    def test_all_algorithms_present(self, result):
+        assert set(result.stats) == {"stall-avoiding", "segment", "chain"}
+
+    def test_ours_closest_to_zero(self, result):
+        ours = result.mean_negative_over_all("stall-avoiding")
+        assert ours >= result.mean_negative_over_all("segment")
+        assert ours >= result.mean_negative_over_all("chain")
+
+    def test_ours_fewest_vos(self, result):
+        for size in result.sizes:
+            assert (
+                result.stats["stall-avoiding"][size].vo_count
+                <= result.stats["segment"][size].vo_count
+            )
+
+    def test_report_has_summary(self, result):
+        text = fig11_vo_construction.report(result)
+        assert "mean neg cap" in text
+
+
+class TestAblations:
+    def test_quantum_ablation(self):
+        result = ablations.quantum_ablation(scale=0.02)
+        assert len(result.rows) == 4
+        assert "quantum" in ablations.report(result)
+
+    def test_queue_cost_ablation_crosses_over(self):
+        result = ablations.queue_cost_ablation(scale=0.05)
+        ratios = [float(row[-1]) for row in result.rows]
+        assert ratios[0] < 1.0 < ratios[-1]  # OTS wins cheap, DI wins dear
+        assert ratios == sorted(ratios)
+
+    def test_switch_cost_ablation_monotone(self):
+        result = ablations.switch_cost_ablation(scale=0.02)
+        ratios = [float(row[-1]) for row in result.rows]
+        assert ratios == sorted(ratios)
+
+    def test_vo_depth_ablation(self):
+        result = ablations.vo_depth_ablation(scale=0.05)
+        runtimes = [float(row[-1]) for row in result.rows]
+        # Fused (0 cuts) at least as fast as fully cut (4 cuts).
+        assert runtimes[0] <= runtimes[-1]
+
+    def test_latency_ablation_ordering(self):
+        result = ablations.latency_ablation(scale=0.05)
+        latency = {row[0]: float(row[1]) for row in result.rows}
+        assert latency["di"] < latency["ots"] < latency["gts"]

@@ -1,0 +1,149 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.core.dataflow import Dispatcher
+from repro.graph.builder import QueryBuilder
+from repro.operators.queue_op import QueueOperator
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+
+def run_graph(graph):
+    """Push every source element through the graph via DI."""
+    dispatcher = Dispatcher(graph)
+    for src in graph.sources():
+        for element in src.payload:
+            for edge in graph.out_edges(src):
+                dispatcher.inject(edge.consumer, element, edge.port)
+        for edge in graph.out_edges(src):
+            dispatcher.inject_end(edge.consumer, edge.port)
+
+
+class TestLinearPipelines:
+    def test_where_map_pipeline(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        (
+            build.source(ListSource(range(10)))
+            .where(lambda v: v % 2 == 0)
+            .map(lambda v: v * 10)
+            .into(sink)
+        )
+        run_graph(build.graph())
+        assert sink.values == [0, 20, 40, 60, 80]
+
+    def test_where_fraction(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(ListSource(range(1000))).where_fraction(0.25).into(sink)
+        run_graph(build.graph())
+        assert len(sink.values) == 250
+
+    def test_project(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(ListSource([{"a": 1, "b": 2}])).project(["b"]).into(sink)
+        run_graph(build.graph())
+        assert sink.values == [{"b": 2}]
+
+    def test_flat_map(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(ListSource([2, 3])).flat_map(lambda v: range(v)).into(sink)
+        run_graph(build.graph())
+        assert sink.values == [0, 1, 0, 1, 2]
+
+    def test_aggregate(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(ListSource(range(5))).aggregate(
+            window_ns=10**9, aggregate="count"
+        ).into(sink)
+        run_graph(build.graph())
+        assert sink.values == [1, 2, 3, 4, 5]
+
+    def test_decouple_inserts_queue(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(ListSource([1])).decouple().into(sink)
+        graph = build.graph()
+        assert len(graph.queues()) == 1
+
+
+class TestCombinators:
+    def test_union(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        left = build.source(ListSource([1, 2]))
+        right = build.source(ListSource([10, 20]))
+        left.union(right).into(sink)
+        run_graph(build.graph())
+        assert sorted(sink.values) == [1, 2, 10, 20]
+
+    def test_hash_join(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        left = build.source(
+            ListSource([StreamElement(value=5, timestamp=0)])
+        )
+        right = build.source(
+            ListSource([StreamElement(value=5, timestamp=1)])
+        )
+        left.hash_join(right, window_ns=10**9).into(sink)
+        run_graph(build.graph())
+        assert sink.values == [(5, 5)]
+
+    def test_nested_loops_join_with_predicate(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        left = build.source(ListSource([StreamElement(value=10, timestamp=0)]))
+        right = build.source(ListSource([StreamElement(value=12, timestamp=1)]))
+        left.nested_loops_join(
+            right, window_ns=10**9, predicate=lambda l, r: abs(l - r) < 5
+        ).into(sink)
+        run_graph(build.graph())
+        assert sink.values == [(10, 12)]
+
+    def test_shared_subquery(self):
+        """One selection feeding two sinks (Fig. 1 style sharing)."""
+        build = QueryBuilder()
+        sink_a, sink_b = CollectingSink("a"), CollectingSink("b")
+        shared = build.source(ListSource(range(4))).where(lambda v: v > 1)
+        shared.into(sink_a)
+        shared.into(sink_b)
+        run_graph(build.graph())
+        assert sink_a.values == [2, 3]
+        assert sink_b.values == [2, 3]
+
+
+class TestBuilderErrors:
+    def test_graph_validates_by_default(self):
+        from repro.errors import GraphError
+
+        build = QueryBuilder()
+        build.source(ListSource([1]))  # dangling source
+        with pytest.raises(GraphError):
+            build.graph()
+
+    def test_graph_without_validation(self):
+        build = QueryBuilder()
+        build.source(ListSource([1]))
+        graph = build.graph(validate=False)
+        assert len(graph.sources()) == 1
+
+    def test_stream_of_foreign_node_rejected(self):
+        build_a = QueryBuilder()
+        build_b = QueryBuilder()
+        node = build_a.source(ListSource([1])).node
+        with pytest.raises(ValueError):
+            build_b.stream_of(node)
+
+    def test_through_explicit_operator(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        queue = QueueOperator()
+        build.source(ListSource([1])).through(queue).into(sink)
+        graph = build.graph()
+        assert graph.queues()

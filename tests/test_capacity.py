@@ -1,0 +1,99 @@
+"""Tests for the Section 5.1.2 capacity model."""
+
+import pytest
+
+from repro.core.capacity import (
+    CapacityAggregate,
+    node_aggregate,
+    partition_capacity,
+    partition_cost,
+    partition_interarrival,
+)
+from repro.errors import PlacementError
+from repro.graph.node import Node, NodeKind, annotated_operator_node
+from repro.streams.sources import ConstantRateSource
+
+
+def op(name, cost_ns, interarrival_ns, selectivity=1.0):
+    node = annotated_operator_node(name, cost_ns=cost_ns, selectivity=selectivity)
+    node.interarrival_ns = interarrival_ns
+    return node
+
+
+class TestCapacityAggregate:
+    def test_single_node_capacity(self):
+        agg = CapacityAggregate(cost_ns=300.0, rate_per_ns=1e-3)  # d = 1000
+        assert agg.interarrival_ns == pytest.approx(1000.0)
+        assert agg.capacity_ns == pytest.approx(700.0)
+
+    def test_merge_adds_costs_and_rates(self):
+        a = CapacityAggregate(cost_ns=100.0, rate_per_ns=1e-3)
+        b = CapacityAggregate(cost_ns=200.0, rate_per_ns=1e-3)
+        merged = a.merge(b)
+        assert merged.cost_ns == 300.0
+        # d(P) = 1/(1/d_a + 1/d_b) = 500
+        assert merged.interarrival_ns == pytest.approx(500.0)
+        assert merged.capacity_ns == pytest.approx(200.0)
+
+    def test_zero_rate_means_infinite_interarrival(self):
+        agg = CapacityAggregate(cost_ns=50.0, rate_per_ns=0.0)
+        assert agg.interarrival_ns == float("inf")
+        assert agg.capacity_ns == float("inf")
+        assert agg.utilization == 0.0
+
+    def test_utilization(self):
+        agg = CapacityAggregate(cost_ns=500.0, rate_per_ns=1e-3)
+        assert agg.utilization == pytest.approx(0.5)
+
+    def test_empty_is_identity_for_merge(self):
+        a = CapacityAggregate(cost_ns=10.0, rate_per_ns=0.5)
+        merged = CapacityAggregate.empty().merge(a)
+        assert merged == a
+
+
+class TestNodeAggregate:
+    def test_operator_node(self):
+        node = op("x", cost_ns=100.0, interarrival_ns=400.0)
+        agg = node_aggregate(node)
+        assert agg.cost_ns == 100.0
+        assert agg.interarrival_ns == pytest.approx(400.0)
+
+    def test_source_node_has_zero_cost(self):
+        source = Node(NodeKind.SOURCE, ConstantRateSource(1, 1000.0))
+        agg = node_aggregate(source)
+        assert agg.cost_ns == 0.0
+        assert agg.interarrival_ns == pytest.approx(1e6)
+
+    def test_missing_cost_rejected(self):
+        node = annotated_operator_node("x", cost_ns=1.0)
+        node.cost_ns = None
+        node.interarrival_ns = 100.0
+        # annotation-only nodes fall back to the payload's declared cost,
+        # so blank both.
+        node.payload.declared_cost_ns = None
+        with pytest.raises(PlacementError, match="cost"):
+            node_aggregate(node)
+
+    def test_missing_interarrival_rejected(self):
+        node = annotated_operator_node("x", cost_ns=1.0)
+        with pytest.raises(PlacementError, match="interarrival"):
+            node_aggregate(node)
+
+
+class TestPartitionFormulas:
+    def test_paper_formulas_on_a_chain(self):
+        # Three operators, each seeing the same stream at 1 el/ms.
+        nodes = [op(f"o{i}", cost_ns=100.0, interarrival_ns=1e6) for i in range(3)]
+        assert partition_cost(nodes) == pytest.approx(300.0)
+        # d(P) = 1/(3 * 1e-6) = 1/3 ms
+        assert partition_interarrival(nodes) == pytest.approx(1e6 / 3)
+        assert partition_capacity(nodes) == pytest.approx(1e6 / 3 - 300.0)
+
+    def test_negative_capacity_detected(self):
+        heavy = op("heavy", cost_ns=2e6, interarrival_ns=1e6)
+        assert partition_capacity([heavy]) < 0
+
+    def test_capacity_decreases_with_more_members(self):
+        a = op("a", cost_ns=10.0, interarrival_ns=1000.0)
+        b = op("b", cost_ns=10.0, interarrival_ns=1000.0)
+        assert partition_capacity([a, b]) < partition_capacity([a])

@@ -1,0 +1,77 @@
+"""Tests for cost-annotated operator wrappers."""
+
+import pytest
+
+from repro.operators.costed import CostedOperator, constant_cost, probe_work_cost
+from repro.operators.joins import SymmetricNestedLoopsJoin
+from repro.operators.selection import Selection
+from repro.streams.elements import StreamElement
+
+
+def element(value, timestamp=0):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestConstantCost:
+    def test_charges_per_element(self):
+        op = CostedOperator(Selection(lambda v: True), cost_model=2700.0)
+        op.process(element(1))
+        op.process(element(2))
+        assert op.charged_ns == pytest.approx(5400.0)
+        assert op.last_cost_ns == pytest.approx(2700.0)
+
+    def test_transparent_semantics(self):
+        op = CostedOperator(Selection(lambda v: v > 5), cost_model=10.0)
+        assert op.process(element(9)) == [element(9)]
+        assert op.process(element(1)) == []
+
+    def test_end_port_forwarded(self):
+        inner = Selection(lambda v: True)
+        op = CostedOperator(inner, cost_model=1.0)
+        op.end_port(0)
+        assert inner.closed
+        assert op.closed
+
+    def test_reset_clears_charges(self):
+        op = CostedOperator(Selection(lambda v: True), cost_model=5.0)
+        op.process(element(1))
+        op.reset()
+        assert op.charged_ns == 0.0
+
+    def test_arity_mirrors_inner(self):
+        join = SymmetricNestedLoopsJoin(100)
+        assert CostedOperator(join, cost_model=1.0).arity == 2
+
+
+class TestProbeWorkCost:
+    def test_join_cost_grows_with_window(self):
+        join = SymmetricNestedLoopsJoin(10**12)
+        op = CostedOperator(join, probe_work_cost(base_ns=100.0, per_probe_ns=10.0))
+        op.process(element(1, 0), port=0)
+        first = op.last_cost_ns  # empty opposite window
+        for i in range(50):
+            op.process(element(i, i + 1), port=1)
+        op.process(element(2, 100), port=0)
+        assert first == pytest.approx(100.0)
+        assert op.last_cost_ns == pytest.approx(100.0 + 10.0 * 50)
+
+    def test_state_size_forwarded(self):
+        join = SymmetricNestedLoopsJoin(10**12)
+        op = CostedOperator(join, probe_work_cost(1.0, 1.0))
+        op.process(element(1, 0), port=0)
+        assert op.state_size() == 1
+
+
+class TestBusySpin:
+    def test_busy_spin_consumes_wall_time(self):
+        import time
+
+        op = CostedOperator(
+            Selection(lambda v: True),
+            cost_model=constant_cost(2_000_000.0),  # 2 ms
+            busy_spin=True,
+        )
+        start = time.perf_counter_ns()
+        op.process(element(1))
+        elapsed = time.perf_counter_ns() - start
+        assert elapsed >= 1_500_000  # at least ~1.5 ms really burned

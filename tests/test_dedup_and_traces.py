@@ -1,0 +1,164 @@
+"""Tests for the windowed-distinct operator and trace record/replay."""
+
+import io
+
+import pytest
+
+from repro.operators.dedup import WindowedDistinct
+from repro.streams.elements import StreamElement
+from repro.streams.sources import PoissonSource
+from repro.streams.traces import (
+    TraceSource,
+    load_trace,
+    record_trace,
+)
+
+
+def element(value, timestamp):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestWindowedDistinct:
+    def test_first_sighting_passes(self):
+        op = WindowedDistinct(window_ns=100)
+        assert op.process(element("a", 0)) == [element("a", 0)]
+
+    def test_duplicate_within_window_suppressed(self):
+        op = WindowedDistinct(window_ns=100)
+        op.process(element("a", 0))
+        assert op.process(element("a", 50)) == []
+        assert op.suppressed == 1
+
+    def test_key_reappears_after_silence(self):
+        op = WindowedDistinct(window_ns=100)
+        op.process(element("a", 0))
+        out = op.process(element("a", 200))
+        assert out == [element("a", 200)]
+
+    def test_duplicates_refresh_the_window(self):
+        op = WindowedDistinct(window_ns=100)
+        op.process(element("a", 0))
+        op.process(element("a", 90))   # suppressed, refreshes
+        out = op.process(element("a", 150))  # 60 after refresh: still hot
+        assert out == []
+
+    def test_distinct_keys_independent(self):
+        op = WindowedDistinct(window_ns=100)
+        op.process(element("a", 0))
+        assert op.process(element("b", 1)) == [element("b", 1)]
+
+    def test_key_fn(self):
+        op = WindowedDistinct(window_ns=100, key_fn=lambda v: v["id"])
+        op.process(element({"id": 1, "x": "first"}, 0))
+        assert op.process(element({"id": 1, "x": "second"}, 10)) == []
+
+    def test_state_bounded_by_window(self):
+        op = WindowedDistinct(window_ns=10)
+        for t in range(0, 1_000, 1):
+            op.process(element(t, t))  # all distinct keys
+        assert op.state_size() <= 11
+
+    def test_measured_selectivity(self):
+        op = WindowedDistinct(window_ns=1_000)
+        assert op.measured_selectivity is None
+        for t in range(10):
+            op.process(element(t % 2, t))  # 2 distinct, 8 duplicates
+        assert op.measured_selectivity == pytest.approx(0.2)
+
+    def test_reset(self):
+        op = WindowedDistinct(window_ns=100)
+        op.process(element("a", 0))
+        op.reset()
+        assert op.state_size() == 0
+        assert op.process(element("a", 1)) == [element("a", 1)]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowedDistinct(window_ns=0)
+
+
+class TestTraceSource:
+    def test_replays_records(self):
+        source = TraceSource([(0, "a"), (10, "b")])
+        elements = list(source)
+        assert [(e.timestamp, e.value) for e in elements] == [
+            (0, "a"),
+            (10, "b"),
+        ]
+        assert len(source) == 2
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TraceSource([(10, "a"), (5, "b")])
+
+    def test_mean_rate(self):
+        source = TraceSource([(0, 1), (10**9, 2), (2 * 10**9, 3)])
+        assert source.rate_per_second == pytest.approx(1.0)
+
+    def test_rate_none_for_single_record(self):
+        assert TraceSource([(0, 1)]).rate_per_second is None
+
+
+class TestRoundTrip:
+    def test_record_and_load(self):
+        original = PoissonSource(
+            200, rate_per_second=1_000.0, seed=3,
+            value_fn=lambda i: (i, f"payload-{i}"),
+        )
+        buffer = io.StringIO()
+        count = record_trace(original, buffer)
+        assert count == 200
+        buffer.seek(0)
+        replayed = load_trace(buffer, name="replay")
+        assert [(e.timestamp, e.value) for e in replayed] == [
+            (e.timestamp, e.value) for e in original
+        ]
+
+    def test_complex_payloads_roundtrip(self):
+        source = TraceSource(
+            [(0, {"key": [1, 2, (3, "x")]}), (5, None), (9, -1.5)]
+        )
+        buffer = io.StringIO()
+        record_trace(source, buffer)
+        buffer.seek(0)
+        replayed = load_trace(buffer)
+        assert [e.value for e in replayed] == [
+            {"key": [1, 2, (3, "x")]},
+            None,
+            -1.5,
+        ]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        record_trace(TraceSource([(0, 1), (1, 2)]), path)
+        replayed = load_trace(path)
+        assert replayed.name == "trace"
+        assert len(replayed) == 2
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="not a trace file"):
+            load_trace(io.StringIO("nope,nope\n1,2\n"))
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(io.StringIO("timestamp_ns,value\nnot_a_number,'x'\n"))
+
+    def test_trace_drives_a_query(self):
+        """A replayed trace works anywhere a Source does."""
+        from repro.core.dataflow import Dispatcher
+        from repro.graph.builder import QueryBuilder
+        from repro.streams.sinks import CollectingSink
+
+        buffer = io.StringIO()
+        record_trace(TraceSource([(0, 5), (1, 10), (2, 15)]), buffer)
+        buffer.seek(0)
+        build = QueryBuilder()
+        sink = CollectingSink()
+        build.source(load_trace(buffer)).where(lambda v: v >= 10).into(sink)
+        graph = build.graph()
+        dispatcher = Dispatcher(graph)
+        src = graph.sources()[0]
+        for e in src.payload:
+            for edge in graph.out_edges(src):
+                dispatcher.inject(edge.consumer, e, edge.port)
+        assert sink.values == [10, 15]

@@ -1,0 +1,82 @@
+"""Tests for stream elements and punctuations."""
+
+import pytest
+
+from repro.streams.elements import (
+    END_OF_STREAM,
+    NO_ELEMENT,
+    Punctuation,
+    PunctuationKind,
+    StreamElement,
+    is_data,
+    is_end,
+    is_no_element,
+)
+
+
+class TestStreamElement:
+    def test_carries_value_and_timestamp(self):
+        element = StreamElement(value=42, timestamp=1_000)
+        assert element.value == 42
+        assert element.timestamp == 1_000
+
+    def test_default_timestamp_is_zero(self):
+        assert StreamElement(value="x").timestamp == 0
+
+    def test_sequence_numbers_are_strictly_increasing(self):
+        first = StreamElement(value=1)
+        second = StreamElement(value=2)
+        third = StreamElement(value=3)
+        assert first.seq < second.seq < third.seq
+
+    def test_with_value_keeps_timestamp(self):
+        element = StreamElement(value=1, timestamp=77)
+        derived = element.with_value("new")
+        assert derived.value == "new"
+        assert derived.timestamp == 77
+
+    def test_with_value_returns_new_element(self):
+        element = StreamElement(value=1, timestamp=5)
+        assert element.with_value(2) is not element
+        assert element.value == 1
+
+    def test_equality_ignores_seq(self):
+        assert StreamElement(value=1, timestamp=2) == StreamElement(
+            value=1, timestamp=2
+        )
+
+    def test_elements_are_immutable(self):
+        element = StreamElement(value=1)
+        with pytest.raises(AttributeError):
+            element.value = 2
+
+
+class TestPunctuations:
+    def test_end_of_stream_kind(self):
+        assert END_OF_STREAM.kind is PunctuationKind.END_OF_STREAM
+
+    def test_no_element_kind(self):
+        assert NO_ELEMENT.kind is PunctuationKind.NO_ELEMENT
+
+    def test_punctuations_are_distinct(self):
+        assert END_OF_STREAM != NO_ELEMENT
+
+    def test_equal_punctuations_compare_equal(self):
+        assert END_OF_STREAM == Punctuation(PunctuationKind.END_OF_STREAM)
+
+
+class TestPredicates:
+    def test_is_data(self):
+        assert is_data(StreamElement(value=0))
+        assert not is_data(END_OF_STREAM)
+        assert not is_data(42)
+
+    def test_is_end(self):
+        assert is_end(END_OF_STREAM)
+        assert not is_end(NO_ELEMENT)
+        assert not is_end(StreamElement(value=0))
+
+    def test_is_no_element(self):
+        assert is_no_element(NO_ELEMENT)
+        assert not is_no_element(END_OF_STREAM)
+        assert not is_no_element(StreamElement(value=None))

@@ -1,0 +1,95 @@
+"""Tests for progress charts and lower envelopes (Chain strategy)."""
+
+import pytest
+
+from repro.core.envelope import (
+    lower_envelope_segments,
+    progress_chart,
+    segment_slopes,
+)
+
+
+class TestProgressChart:
+    def test_origin_and_accumulation(self):
+        points = progress_chart([10.0, 20.0], [0.5, 0.5])
+        assert (points[0].cumulative_cost_ns, points[0].remaining_fraction) == (
+            0.0,
+            1.0,
+        )
+        assert points[1].cumulative_cost_ns == 10.0
+        assert points[1].remaining_fraction == 0.5
+        assert points[2].cumulative_cost_ns == 30.0
+        assert points[2].remaining_fraction == 0.25
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            progress_chart([1.0], [0.5, 0.5])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            progress_chart([-1.0], [0.5])
+
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            progress_chart([1.0], [-0.5])
+
+
+class TestLowerEnvelope:
+    def test_single_operator_single_segment(self):
+        assert lower_envelope_segments([10.0], [0.5]) == [[0]]
+
+    def test_segments_partition_all_operators(self):
+        segments = lower_envelope_segments(
+            [1.0, 2.0, 3.0, 4.0], [0.9, 0.1, 0.9, 0.5]
+        )
+        flat = [i for seg in segments for i in seg]
+        assert flat == [0, 1, 2, 3]
+
+    def test_cheap_filter_after_expensive_noop_merges(self):
+        # Classic Chain example: an expensive selectivity-1 operator
+        # followed by a cheap selective one is steeper taken together.
+        segments = lower_envelope_segments([100.0, 1.0], [1.0, 0.01])
+        assert segments == [[0, 1]]
+
+    def test_selective_cheap_operator_forms_own_segment(self):
+        # A cheap highly selective operator first, then an expensive
+        # non-selective one: the first drop is the steepest.
+        segments = lower_envelope_segments([1.0, 100.0], [0.01, 1.0])
+        assert segments == [[0], [1]]
+
+    def test_paper_fig9_query_groups(self):
+        """The Section 6.6 query splits into the groups the paper states.
+
+        "This computation splits the graph in two groups, the first
+        consisting of the projection and the following selection and the
+        second consisting of the remaining selection."
+        """
+        costs = [2_700.0, 530.0, 2e9]
+        selectivities = [1.0, 9e-4, 0.3]
+        segments = lower_envelope_segments(costs, selectivities)
+        assert segments == [[0, 1], [2]]
+
+    def test_zero_cost_operator_folds_forward(self):
+        segments = lower_envelope_segments([0.0, 10.0], [1.0, 0.5])
+        flat = [i for seg in segments for i in seg]
+        assert flat == [0, 1]
+
+
+class TestSegmentSlopes:
+    def test_slopes_constant_within_segment(self):
+        costs = [2_700.0, 530.0, 2e9]
+        selectivities = [1.0, 9e-4, 0.3]
+        slopes = segment_slopes(costs, selectivities)
+        assert slopes[0] == slopes[1]
+        assert slopes[2] != slopes[0]
+
+    def test_first_group_is_steeper(self):
+        costs = [2_700.0, 530.0, 2e9]
+        selectivities = [1.0, 9e-4, 0.3]
+        slopes = segment_slopes(costs, selectivities)
+        # Steeper = more negative: the cheap selective group wins.
+        assert slopes[0] < slopes[2]
+
+    def test_slope_value(self):
+        slopes = segment_slopes([10.0], [0.5])
+        assert slopes[0] == pytest.approx((0.5 - 1.0) / 10.0)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as integration tests of the public API; each one
+asserts its own correctness conditions internally, so executing
+``main()`` without an exception is a meaningful check.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "traffic_monitoring",
+    "intrusion_detection",
+    "simulation_study",
+    "pull_vs_push",
+    "adaptive_placement",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_examples_list_is_complete():
+    on_disk = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

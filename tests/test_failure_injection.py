@@ -1,0 +1,128 @@
+"""Failure-injection tests: the engine must fail loudly, not hang.
+
+A worker thread that dies silently leaves queues undrained and the
+engine waiting forever — the failure mode that originally motivated the
+engine's error channel.  These tests inject faults at every stage of
+the pipeline and assert that the run surfaces the error.
+"""
+
+import pytest
+
+from repro.core.engine import ThreadedEngine
+from repro.core.modes import gts_config, ots_config
+from repro.errors import SchedulingError
+from repro.graph.builder import QueryBuilder
+from repro.operators.base import StatelessOperator
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import CollectingSink, Sink
+from repro.streams.sources import ListSource, Source
+
+
+class ExplodingOperator(StatelessOperator):
+    """Raises after processing ``fuse`` elements."""
+
+    def __init__(self, fuse: int) -> None:
+        super().__init__(name=f"exploding({fuse})")
+        self.fuse = fuse
+        self._seen = 0
+
+    def apply(self, element):
+        self._seen += 1
+        if self._seen > self.fuse:
+            raise RuntimeError(f"operator exploded after {self.fuse} elements")
+        yield element
+
+
+class ExplodingSink(Sink):
+    def __init__(self, fuse: int) -> None:
+        super().__init__(name="exploding-sink")
+        self.fuse = fuse
+        self.received = 0
+
+    def receive(self, element: StreamElement) -> None:
+        self.received += 1
+        if self.received > self.fuse:
+            raise RuntimeError("sink exploded")
+
+
+class ExplodingSource(Source):
+    """Raises mid-iteration."""
+
+    name = "exploding-source"
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+
+    def schedule(self):
+        for i in range(self.fuse):
+            yield i, i
+        raise RuntimeError("source exploded")
+
+    def __len__(self):
+        return self.fuse
+
+
+def build(operator=None, sink=None, source=None):
+    build = QueryBuilder()
+    sink = sink or CollectingSink()
+    source = source or ListSource(range(1_000))
+    stream = build.source(source)
+    if operator is not None:
+        stream = stream.through(operator)
+    stream.where(lambda v: True, name="tail").into(sink)
+    graph = build.graph()
+    graph.decouple_all()
+    return graph
+
+
+class TestOperatorFailure:
+    def test_failing_operator_surfaces_error(self):
+        graph = build(operator=ExplodingOperator(fuse=100))
+        engine = ThreadedEngine(graph, gts_config(graph))
+        with pytest.raises(SchedulingError, match="exploded"):
+            engine.run(timeout=30)
+        assert engine.errors
+
+    def test_failing_operator_under_ots(self):
+        graph = build(operator=ExplodingOperator(fuse=100))
+        engine = ThreadedEngine(graph, ots_config(graph))
+        with pytest.raises(SchedulingError, match="exploded"):
+            engine.run(timeout=30)
+
+    def test_run_does_not_hang_after_failure(self):
+        """The run returns promptly instead of waiting on dead queues."""
+        import time
+
+        graph = build(operator=ExplodingOperator(fuse=10))
+        engine = ThreadedEngine(graph, ots_config(graph))
+        started = time.monotonic()
+        with pytest.raises(SchedulingError):
+            engine.run(timeout=30)
+        assert time.monotonic() - started < 20
+
+
+class TestSinkFailure:
+    def test_failing_sink_surfaces_error(self):
+        graph = build(sink=ExplodingSink(fuse=50))
+        engine = ThreadedEngine(graph, gts_config(graph))
+        with pytest.raises(SchedulingError, match="sink exploded"):
+            engine.run(timeout=30)
+
+
+class TestSourceFailure:
+    def test_failing_source_surfaces_error(self):
+        graph = build(source=ExplodingSource(fuse=100))
+        engine = ThreadedEngine(graph, gts_config(graph))
+        with pytest.raises(SchedulingError, match="source exploded"):
+            engine.run(timeout=30)
+        names = [name for name, _ in engine.errors]
+        assert any(name.startswith("source:") for name in names)
+
+
+class TestErrorReporting:
+    def test_error_carries_original_exception(self):
+        graph = build(operator=ExplodingOperator(fuse=1))
+        engine = ThreadedEngine(graph, gts_config(graph))
+        with pytest.raises(SchedulingError) as info:
+            engine.run(timeout=30)
+        assert isinstance(info.value.__cause__, RuntimeError)

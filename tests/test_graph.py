@@ -1,0 +1,250 @@
+"""Tests for the query-graph substrate."""
+
+import pytest
+
+from repro.errors import GraphCycleError, GraphError, PortError, UnknownNodeError
+from repro.graph.node import annotated_operator_node
+from repro.graph.query_graph import QueryGraph, derive_rates
+from repro.operators.selection import Selection
+from repro.operators.union import Union
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ConstantRateSource
+
+
+def simple_graph():
+    """source -> selection -> sink"""
+    g = QueryGraph("simple")
+    src = g.add_source(ConstantRateSource(10, 100.0, name="src"))
+    sel = g.add_operator(Selection(lambda v: True, name="sel"))
+    sink = g.add_sink(CountingSink(name="out"))
+    g.connect(src, sel)
+    g.connect(sel, sink)
+    return g, src, sel, sink
+
+
+class TestConstruction:
+    def test_simple_graph_validates(self):
+        g, *_ = simple_graph()
+        g.validate()
+
+    def test_kinds(self):
+        g, src, sel, sink = simple_graph()
+        assert src.is_source and sel.is_operator and sink.is_sink
+        assert not sel.is_queue
+
+    def test_connect_unknown_node_rejected(self):
+        g, src, sel, sink = simple_graph()
+        other = QueryGraph("other")
+        stray = other.add_operator(Selection(lambda v: True))
+        with pytest.raises(UnknownNodeError):
+            g.connect(src, stray)
+
+    def test_sink_cannot_produce(self):
+        g, src, sel, sink = simple_graph()
+        extra = g.add_sink(CountingSink(name="extra"))
+        with pytest.raises(GraphError):
+            g.connect(sink, extra)
+
+    def test_source_cannot_consume(self):
+        g, src, sel, sink = simple_graph()
+        with pytest.raises(GraphError):
+            g.connect(sel, src)
+
+    def test_port_out_of_range(self):
+        g, src, sel, sink = simple_graph()
+        extra = g.add_source(ConstantRateSource(1, 1.0, name="src2"))
+        with pytest.raises(PortError):
+            g.connect(extra, sel, port=1)
+
+    def test_port_already_taken(self):
+        g, src, sel, sink = simple_graph()
+        extra = g.add_source(ConstantRateSource(1, 1.0, name="src2"))
+        with pytest.raises(PortError):
+            g.connect(extra, sel, port=0)
+
+    def test_cycle_rejected(self):
+        g = QueryGraph()
+        a = g.add_operator(Union(arity=2, name="a"))
+        b = g.add_operator(Union(arity=2, name="b"))
+        g.connect(a, b, 0)
+        with pytest.raises(GraphCycleError):
+            g.connect(b, a, 0)
+
+    def test_self_loop_rejected(self):
+        g = QueryGraph()
+        a = g.add_operator(Union(arity=2, name="a"))
+        with pytest.raises(GraphCycleError):
+            g.connect(a, a, 1)
+
+    def test_duplicate_node_rejected(self):
+        g, src, *_ = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_node(src)
+
+
+class TestValidation:
+    def test_unconnected_port_detected(self):
+        g = QueryGraph()
+        src = g.add_source(ConstantRateSource(1, 1.0))
+        union = g.add_operator(Union(arity=2))
+        sink = g.add_sink(CountingSink())
+        g.connect(src, union, 0)
+        g.connect(union, sink)
+        with pytest.raises(GraphError, match="unconnected input ports"):
+            g.validate()
+
+    def test_source_without_consumer_detected(self):
+        g = QueryGraph()
+        g.add_source(ConstantRateSource(1, 1.0))
+        with pytest.raises(GraphError, match="no consumer"):
+            g.validate()
+
+    def test_operator_without_consumer_detected(self):
+        g = QueryGraph()
+        src = g.add_source(ConstantRateSource(1, 1.0))
+        sel = g.add_operator(Selection(lambda v: True))
+        g.connect(src, sel)
+        with pytest.raises(GraphError, match="no consumer"):
+            g.validate()
+
+
+class TestStructureQueries:
+    def test_topological_order(self):
+        g, src, sel, sink = simple_graph()
+        order = g.topological_order()
+        assert order.index(src) < order.index(sel) < order.index(sink)
+
+    def test_successors_predecessors(self):
+        g, src, sel, sink = simple_graph()
+        assert g.successors(src) == [sel]
+        assert g.predecessors(sink) == [sel]
+
+    def test_subquery_sharing_fan_out(self):
+        g = QueryGraph()
+        src = g.add_source(ConstantRateSource(1, 1.0))
+        sel = g.add_operator(Selection(lambda v: True))
+        sink_a = g.add_sink(CountingSink(name="a"))
+        sink_b = g.add_sink(CountingSink(name="b"))
+        g.connect(src, sel)
+        g.connect(sel, sink_a)
+        g.connect(sel, sink_b)
+        g.validate()
+        assert len(g.successors(sel)) == 2
+
+    def test_find_edge(self):
+        g, src, sel, sink = simple_graph()
+        edge = g.find_edge(src, sel)
+        assert edge.producer is src and edge.consumer is sel
+        with pytest.raises(UnknownNodeError):
+            g.find_edge(src, sink)
+
+
+class TestQueueSplicing:
+    def test_insert_queue_splits_edge(self):
+        g, src, sel, sink = simple_graph()
+        edge = g.find_edge(src, sel)
+        queue = g.insert_queue(edge)
+        assert queue.is_queue
+        assert g.successors(src) == [queue]
+        assert g.successors(queue) == [sel]
+        g.validate()
+
+    def test_remove_queue_restores_edge(self):
+        g, src, sel, sink = simple_graph()
+        queue = g.insert_queue(g.find_edge(src, sel))
+        g.remove_queue(queue)
+        assert g.successors(src) == [sel]
+        assert queue not in g
+        g.validate()
+
+    def test_remove_nonempty_queue_rejected(self):
+        from repro.streams.elements import StreamElement
+
+        g, src, sel, sink = simple_graph()
+        queue = g.insert_queue(g.find_edge(src, sel))
+        queue.payload.push(StreamElement(value=1))
+        with pytest.raises(GraphError, match="drain"):
+            g.remove_queue(queue)
+
+    def test_remove_queue_on_non_queue_rejected(self):
+        g, src, sel, sink = simple_graph()
+        with pytest.raises(GraphError):
+            g.remove_queue(sel)
+
+    def test_decouple_all(self):
+        g = QueryGraph()
+        src = g.add_source(ConstantRateSource(1, 1.0))
+        s1 = g.add_operator(Selection(lambda v: True, name="s1"))
+        s2 = g.add_operator(Selection(lambda v: True, name="s2"))
+        sink = g.add_sink(CountingSink())
+        g.connect(src, s1)
+        g.connect(s1, s2)
+        g.connect(s2, sink)
+        inserted = g.decouple_all()
+        # source->s1 and s1->s2 get queues; s2->sink does not.
+        assert len(inserted) == 2
+        assert len(g.queues()) == 2
+        g.validate()
+
+    def test_decouple_all_is_idempotent(self):
+        g, *_ = simple_graph()
+        first = g.decouple_all()
+        second = g.decouple_all()
+        assert len(first) == 1
+        assert second == []
+
+
+class TestDeriveRates:
+    def test_chain_rates(self):
+        g = QueryGraph()
+        src = g.add_source(ConstantRateSource(1, 1000.0))
+        a = annotated_operator_node("a", cost_ns=100.0, selectivity=0.5)
+        b = annotated_operator_node("b", cost_ns=100.0, selectivity=1.0)
+        sink = g.add_sink(CountingSink())
+        g.add_node(a)
+        g.add_node(b)
+        g.connect(src, a)
+        g.connect(a, b)
+        g.connect(b, sink)
+        rates = derive_rates(g)
+        assert rates[a] == pytest.approx(1000.0)
+        assert rates[b] == pytest.approx(500.0)
+        assert a.interarrival_ns == pytest.approx(1e6)  # 1000/s -> 1 ms
+        assert b.interarrival_ns == pytest.approx(2e6)
+
+    def test_fan_in_sums_rates(self):
+        g = QueryGraph()
+        s1 = g.add_source(ConstantRateSource(1, 300.0))
+        s2 = g.add_source(ConstantRateSource(1, 700.0))
+        union = annotated_operator_node("u", cost_ns=1.0, selectivity=1.0, arity=2)
+        g.add_node(union)
+        sink = g.add_sink(CountingSink())
+        g.connect(s1, union, 0)
+        g.connect(s2, union, 1)
+        g.connect(union, sink)
+        rates = derive_rates(g)
+        assert rates[union] == pytest.approx(1000.0)
+
+    def test_explicit_rates_override(self):
+        g, src, sel, sink = simple_graph()
+        rates = derive_rates(g, source_rates={src: 42.0})
+        assert rates[sel] == pytest.approx(42.0)
+
+    def test_missing_rate_rejected(self):
+        g = QueryGraph()
+
+        class NoRate:
+            name = "x"
+
+            def __iter__(self):
+                return iter(())
+
+        from repro.graph.node import Node, NodeKind
+
+        src = g.add_node(Node(NodeKind.SOURCE, NoRate()))
+        sel = g.add_operator(Selection(lambda v: True))
+        sink = g.add_sink(CountingSink())
+        g.connect(src, sel)
+        g.connect(sel, sink)
+        with pytest.raises(GraphError, match="no rate"):
+            derive_rates(g)

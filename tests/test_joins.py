@@ -1,0 +1,147 @@
+"""Tests for the symmetric window joins (SHJ and SNJ)."""
+
+import pytest
+
+from repro.operators.joins import SymmetricHashJoin, SymmetricNestedLoopsJoin
+from repro.streams.elements import StreamElement
+
+SECOND = 10**9
+
+
+def element(value, timestamp):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+@pytest.fixture(params=["hash", "nested"])
+def join_factory(request):
+    """Both joins must produce identical results for equi-joins."""
+
+    def factory(window_ns=60 * SECOND):
+        if request.param == "hash":
+            return SymmetricHashJoin(window_ns)
+        return SymmetricNestedLoopsJoin(window_ns)
+
+    return factory
+
+
+class TestJoinSemantics:
+    def test_match_across_sides(self, join_factory):
+        join = join_factory()
+        assert join.process(element(5, 0), port=0) == []
+        out = join.process(element(5, 10), port=1)
+        assert [e.value for e in out] == [(5, 5)]
+
+    def test_no_match_within_one_side(self, join_factory):
+        join = join_factory()
+        join.process(element(5, 0), port=0)
+        assert join.process(element(5, 10), port=0) == []
+
+    def test_result_order_is_left_right(self, join_factory):
+        join = join_factory()
+        join.process(element("r", 0), port=1)
+        out = join.process(element("r", 10), port=0)
+        assert out[0].value == ("r", "r")
+
+    def test_result_timestamp_is_completion_time(self, join_factory):
+        join = join_factory()
+        join.process(element(1, 5), port=0)
+        out = join.process(element(1, 42), port=1)
+        assert out[0].timestamp == 42
+
+    def test_window_expiry_prevents_old_matches(self, join_factory):
+        join = join_factory(window_ns=100)
+        join.process(element(7, 0), port=0)
+        out = join.process(element(7, 200), port=1)
+        assert out == []
+
+    def test_multiple_matches(self, join_factory):
+        join = join_factory()
+        join.process(element(3, 0), port=0)
+        join.process(element(3, 1), port=0)
+        out = join.process(element(3, 2), port=1)
+        assert len(out) == 2
+
+    def test_both_joins_agree_on_random_streams(self):
+        import random
+
+        rng = random.Random(11)
+        shj = SymmetricHashJoin(50)
+        snj = SymmetricNestedLoopsJoin(50)
+        shj_results = []
+        snj_results = []
+        for t in range(400):
+            port = rng.randint(0, 1)
+            e = element(rng.randint(0, 15), t)
+            shj_results.extend(x.value for x in shj.process(e, port))
+            snj_results.extend(x.value for x in snj.process(e, port))
+        assert sorted(shj_results) == sorted(snj_results)
+        assert shj_results  # non-trivial workload
+
+    def test_state_size_tracks_windows(self, join_factory):
+        join = join_factory(window_ns=1000)
+        join.process(element(1, 0), port=0)
+        join.process(element(2, 1), port=1)
+        assert join.state_size() == 2
+
+    def test_reset_clears_windows(self, join_factory):
+        join = join_factory()
+        join.process(element(1, 0), port=0)
+        join.reset()
+        assert join.state_size() == 0
+        assert join.total_probe_work == 0
+
+
+class TestProbeWorkAccounting:
+    def test_snj_probe_work_grows_with_window(self):
+        join = SymmetricNestedLoopsJoin(10**12)
+        for i in range(100):
+            join.process(element(i, i), port=0)
+        join.process(element(1, 100), port=1)
+        assert join.last_probe_work == 100
+
+    def test_shj_probe_work_is_bucket_size(self):
+        join = SymmetricHashJoin(10**12)
+        for i in range(100):
+            join.process(element(i % 10, i), port=0)  # 10 per bucket
+        join.process(element(3, 100), port=1)
+        assert join.last_probe_work == 10
+
+    def test_snj_much_more_work_than_shj_on_selective_join(self):
+        """The Fig. 6 asymmetry: SNJ scans the window, SHJ one bucket."""
+        shj = SymmetricHashJoin(10**12)
+        snj = SymmetricNestedLoopsJoin(10**12)
+        for i in range(1000):
+            value = i % 500
+            shj.process(element(value, i), port=0)
+            snj.process(element(value, i), port=0)
+        shj.process(element(7, 1000), port=1)
+        snj.process(element(7, 1000), port=1)
+        assert snj.last_probe_work >= 100 * shj.last_probe_work
+
+
+class TestCustomKeysAndPredicates:
+    def test_hash_join_key_functions(self):
+        join = SymmetricHashJoin(
+            10**9, key_fns=(lambda v: v["k"], lambda v: v[0])
+        )
+        join.process(element({"k": 1, "x": "left"}, 0), port=0)
+        out = join.process(element((1, "right"), 1), port=1)
+        assert out[0].value == ({"k": 1, "x": "left"}, (1, "right"))
+
+    def test_nested_join_band_predicate(self):
+        join = SymmetricNestedLoopsJoin(
+            10**9, predicate=lambda l, r: abs(l - r) <= 1
+        )
+        join.process(element(10, 0), port=0)
+        out = join.process(element(11, 1), port=1)
+        assert out[0].value == (10, 11)
+
+    def test_custom_combine(self):
+        join = SymmetricHashJoin(10**9, combine=lambda l, r: l + r)
+        join.process(element(2, 0), port=0)
+        out = join.process(element(2, 1), port=1)
+        assert out[0].value == 4
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SymmetricHashJoin(0)

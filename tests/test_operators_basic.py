@@ -1,0 +1,148 @@
+"""Tests for the operator protocol and the stateless operators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators.base import Operator
+from repro.operators.projection import FlatMapOperator, MapOperator, Projection
+from repro.operators.selection import Selection, SimulatedSelection
+from repro.operators.union import Union
+from repro.streams.elements import StreamElement
+
+
+def element(value, timestamp=0):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestOperatorProtocol:
+    def test_process_out_of_range_port_rejected(self):
+        op = Selection(lambda v: True)
+        with pytest.raises(OperatorError):
+            op.process(element(1), port=1)
+
+    def test_end_port_twice_rejected(self):
+        op = Selection(lambda v: True)
+        op.end_port(0)
+        with pytest.raises(OperatorError):
+            op.end_port(0)
+
+    def test_process_after_close_rejected(self):
+        op = Selection(lambda v: True)
+        op.end_port(0)
+        with pytest.raises(OperatorError):
+            op.process(element(1))
+
+    def test_close_requires_all_ports(self):
+        union = Union(arity=2)
+        union.end_port(0)
+        assert not union.closed
+        union.end_port(1)
+        assert union.closed
+
+    def test_reset_reopens_operator(self):
+        op = Selection(lambda v: True)
+        op.end_port(0)
+        op.reset()
+        assert not op.closed
+        assert op.process(element(1)) == [element(1)]
+
+    def test_declared_metadata_roundtrip(self):
+        op = Selection(
+            lambda v: True, declared_cost_ns=530.0, declared_selectivity=0.3
+        )
+        assert op.declared_cost_ns == 530.0
+        assert op.declared_selectivity == 0.3
+
+    def test_default_state_size_is_zero(self):
+        assert Selection(lambda v: True).state_size() == 0
+
+
+class TestSelection:
+    def test_keeps_matching(self):
+        op = Selection(lambda v: v % 2 == 0)
+        assert op.process(element(4)) == [element(4)]
+
+    def test_drops_non_matching(self):
+        op = Selection(lambda v: v % 2 == 0)
+        assert op.process(element(3)) == []
+
+    def test_preserves_timestamp(self):
+        op = Selection(lambda v: True)
+        out = op.process(element(1, timestamp=99))
+        assert out[0].timestamp == 99
+
+
+class TestSimulatedSelection:
+    @pytest.mark.parametrize("selectivity", [0.0, 0.1, 0.5, 0.998, 1.0])
+    def test_exact_long_run_selectivity(self, selectivity):
+        op = SimulatedSelection(selectivity)
+        n = 10_000
+        passed = sum(len(op.process(element(i))) for i in range(n))
+        import math
+
+        assert passed == math.floor(n * selectivity)
+
+    def test_deterministic(self):
+        a = SimulatedSelection(0.37)
+        b = SimulatedSelection(0.37)
+        pattern_a = [len(a.process(element(i))) for i in range(100)]
+        pattern_b = [len(b.process(element(i))) for i in range(100)]
+        assert pattern_a == pattern_b
+
+    def test_reset_restarts_pattern(self):
+        op = SimulatedSelection(0.4)
+        first = [len(op.process(element(i))) for i in range(20)]
+        op.reset()
+        second = [len(op.process(element(i))) for i in range(20)]
+        assert first == second
+
+    def test_declared_selectivity_set(self):
+        assert SimulatedSelection(0.25).declared_selectivity == 0.25
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SimulatedSelection(1.5)
+
+
+class TestProjectionAndMap:
+    def test_map_transforms_payload(self):
+        op = MapOperator(lambda v: v * 10)
+        assert op.process(element(4))[0].value == 40
+
+    def test_map_selectivity_is_one(self):
+        assert MapOperator(lambda v: v).declared_selectivity == 1.0
+
+    def test_projection_on_dict(self):
+        op = Projection(["a", "c"])
+        out = op.process(element({"a": 1, "b": 2, "c": 3}))
+        assert out[0].value == {"a": 1, "c": 3}
+
+    def test_projection_on_tuple(self):
+        op = Projection([0, 2])
+        out = op.process(element((10, 20, 30)))
+        assert out[0].value == (10, 30)
+
+    def test_flat_map_multiplies(self):
+        op = FlatMapOperator(lambda v: [v, v + 1])
+        out = op.process(element(5))
+        assert [e.value for e in out] == [5, 6]
+
+    def test_flat_map_can_drop(self):
+        op = FlatMapOperator(lambda v: [])
+        assert op.process(element(5)) == []
+
+
+class TestUnion:
+    def test_forwards_from_any_port(self):
+        op = Union(arity=3)
+        for port in range(3):
+            assert op.process(element(port), port=port) == [element(port)]
+
+    def test_rejects_port_beyond_arity(self):
+        op = Union(arity=2)
+        with pytest.raises(OperatorError):
+            op.process(element(0), port=2)
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(ValueError):
+            Union(arity=0)

@@ -1,0 +1,198 @@
+"""Tests for queue placement: Algorithm 1 and the two baselines."""
+
+import pytest
+
+from repro.core.placement import (
+    chain_partitioning,
+    segment_partitioning,
+    stall_avoiding_partitioning,
+)
+from repro.errors import PlacementError
+from repro.graph.node import annotated_operator_node
+from repro.graph.query_graph import QueryGraph, derive_rates
+from repro.graph.random_dags import RandomDagConfig, random_query_dag
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ConstantRateSource
+
+MS = 1_000_000  # ns
+
+
+def chain_graph(costs_ns, selectivities=None, rate=1000.0):
+    """source -> op0 -> op1 -> ... -> sink with given costs."""
+    selectivities = selectivities or [1.0] * len(costs_ns)
+    g = QueryGraph("chain")
+    src = g.add_source(ConstantRateSource(1, rate, name="src"))
+    prev = src
+    ops = []
+    for i, (cost, sel) in enumerate(zip(costs_ns, selectivities)):
+        node = annotated_operator_node(f"op{i}", cost_ns=cost, selectivity=sel)
+        g.add_node(node)
+        g.connect(prev, node)
+        prev = node
+        ops.append(node)
+    sink = g.add_sink(CountingSink())
+    g.connect(prev, sink)
+    derive_rates(g)
+    return g, src, ops
+
+
+class TestStallAvoiding:
+    def test_cheap_chain_becomes_one_vo(self):
+        # 1000 el/s -> d = 1 ms; three 1 us operators easily fit.
+        g, src, ops = chain_graph([1_000.0, 1_000.0, 1_000.0])
+        result = stall_avoiding_partitioning(g)
+        assert len(result.partitioning) == 1
+        assert result.queue_edges == []
+
+    def test_expensive_operator_gets_decoupled(self):
+        """The Fig. 5 scenario: cheap unary chain + expensive tail."""
+        g, src, ops = chain_graph([1_000.0, 1_000.0, 1_000.0, 5 * MS])
+        result = stall_avoiding_partitioning(g)
+        heavy = ops[-1]
+        # The heavy aggregate sits alone...
+        heavy_partition = result.partitioning.partition_of(heavy)
+        assert len(heavy_partition) == 1
+        # ... and a queue decouples it from the cheap chain.
+        assert any(edge.consumer is heavy for edge in result.queue_edges)
+        # The cheap operators share one VO with the source.
+        assert result.partitioning.same_partition(ops[0], ops[2])
+
+    def test_all_multi_node_partitions_respect_capacity(self):
+        g = random_query_dag(RandomDagConfig(n_operators=120, seed=5))
+        result = stall_avoiding_partitioning(g, include_sources=False)
+        for partition in result.partitioning:
+            if len(partition) > 1:
+                assert partition.capacity_ns() >= 0.0
+
+    def test_negative_singletons_are_inherent(self):
+        # An operator whose own cost exceeds d(v) can never satisfy the
+        # constraint; the algorithm must isolate it.
+        g, src, ops = chain_graph([10 * MS], rate=1000.0)  # c=10ms, d=1ms
+        result = stall_avoiding_partitioning(g)
+        partition = result.partitioning.partition_of(ops[0])
+        assert len(partition) == 1
+        assert partition.capacity_ns() < 0
+
+    def test_partitions_are_connected(self):
+        g = random_query_dag(RandomDagConfig(n_operators=150, seed=9))
+        result = stall_avoiding_partitioning(g, include_sources=False)
+        result.partitioning.validate(g)
+
+    def test_include_sources_merges_source(self):
+        g, src, ops = chain_graph([1_000.0])
+        result = stall_avoiding_partitioning(g, include_sources=True)
+        assert result.partitioning.same_partition(src, ops[0])
+
+    def test_exclude_sources(self):
+        g, src, ops = chain_graph([1_000.0])
+        result = stall_avoiding_partitioning(g, include_sources=False)
+        assert not result.partitioning.covers([src])
+
+    def test_queue_edges_match_partition_boundaries(self):
+        g = random_query_dag(RandomDagConfig(n_operators=80, seed=2))
+        result = stall_avoiding_partitioning(g, include_sources=False)
+        crossing = set(result.partitioning.crossing_edges(g))
+        # Crossing edges include source->op edges (sources unassigned are
+        # excluded by crossing_edges); queue edges must equal exactly the
+        # operator-to-operator crossings.
+        assert set(result.queue_edges) == crossing
+
+    def test_rejects_graph_with_queues(self):
+        g, src, ops = chain_graph([1.0, 1.0])
+        g.insert_queue(g.find_edge(ops[0], ops[1]))
+        with pytest.raises(PlacementError, match="without queues"):
+            stall_avoiding_partitioning(g)
+
+    def test_min_capacity_threshold(self):
+        # With a large safety margin required, nothing merges.
+        g, src, ops = chain_graph([1_000.0, 1_000.0])
+        result = stall_avoiding_partitioning(
+            g, include_sources=False, min_capacity_ns=1e9
+        )
+        assert len(result.partitioning) == 2
+
+    def test_apply_inserts_queues(self):
+        g, src, ops = chain_graph([1_000.0, 1_000.0, 5 * MS])
+        result = stall_avoiding_partitioning(g)
+        inserted = result.apply(g)
+        assert len(inserted) == len(result.queue_edges) > 0
+        g.validate()
+
+    def test_apply_twice_rejected(self):
+        g, src, ops = chain_graph([1_000.0, 5 * MS])
+        result = stall_avoiding_partitioning(g)
+        result.apply(g)
+        with pytest.raises(PlacementError):
+            result.apply(g)
+
+
+class TestBaselines:
+    def test_segment_is_capacity_blind(self):
+        # Equal MRC everywhere: the whole chain merges even though the
+        # combined capacity is negative.
+        g, src, ops = chain_graph(
+            [400_000.0] * 5, selectivities=[0.5] * 5, rate=1000.0
+        )
+        result = segment_partitioning(g)
+        merged = result.partitioning.partition_of(ops[0])
+        assert len(merged) == 5
+        assert merged.capacity_ns() < 0
+
+    def test_segment_cuts_on_mrc_drop(self):
+        # op1 releases much more memory per time than op2.
+        g, src, ops = chain_graph(
+            [1_000.0, 1_000_000.0], selectivities=[0.1, 0.9]
+        )
+        result = segment_partitioning(g)
+        assert not result.partitioning.same_partition(ops[0], ops[1])
+
+    def test_chain_merges_envelope_segment(self):
+        # Expensive no-op then cheap filter: one envelope segment.
+        g, src, ops = chain_graph([100.0, 1.0], selectivities=[1.0, 0.01])
+        result = chain_partitioning(g)
+        assert result.partitioning.same_partition(ops[0], ops[1])
+
+    def test_chain_cuts_between_segments(self):
+        g, src, ops = chain_graph([1.0, 100.0], selectivities=[0.01, 1.0])
+        result = chain_partitioning(g)
+        assert not result.partitioning.same_partition(ops[0], ops[1])
+
+    def test_baselines_never_touch_sources(self):
+        g, src, ops = chain_graph([1.0, 1.0])
+        for fn in (segment_partitioning, chain_partitioning):
+            result = fn(g)
+            assert not result.partitioning.covers([src])
+
+
+class TestFig11Shape:
+    """The headline property of the Section 6.7 experiment."""
+
+    def test_stall_avoiding_dominates_on_random_dags(self):
+        totals = {"stall": [], "segment": [], "chain": []}
+        for seed in range(4):
+            g = random_query_dag(RandomDagConfig(n_operators=100, seed=seed))
+            totals["stall"].append(
+                stall_avoiding_partitioning(g, include_sources=False)
+            )
+            totals["segment"].append(segment_partitioning(g))
+            totals["chain"].append(chain_partitioning(g))
+
+        def mean_negative(results):
+            values = [c for r in results for c in r.negative_capacities_ns()]
+            return sum(values) / len(values) if values else 0.0
+
+        stall = mean_negative(totals["stall"])
+        segment = mean_negative(totals["segment"])
+        chain = mean_negative(totals["chain"])
+        # Ours is closest to zero (least stalling).
+        assert stall >= segment or stall >= chain
+        assert stall > min(segment, chain)
+
+    def test_stall_avoiding_minimizes_partition_count(self):
+        for seed in range(4):
+            g = random_query_dag(RandomDagConfig(n_operators=100, seed=seed))
+            ours = len(stall_avoiding_partitioning(g, include_sources=False).partitioning)
+            seg = len(segment_partitioning(g).partitioning)
+            cha = len(chain_partitioning(g).partitioning)
+            assert ours <= seg
+            assert ours <= cha

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the core algorithms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import CapacityAggregate
+from repro.core.envelope import (
+    lower_envelope_segments,
+    progress_chart,
+    segment_slopes,
+)
+from repro.core.placement import stall_avoiding_partitioning
+from repro.graph.random_dags import RandomDagConfig, random_query_dag
+from repro.sim.pipeline import SelectivityCounter
+
+# Reasonable numeric ranges: costs and rates that arise in practice.
+costs = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+positive_costs = st.floats(min_value=1.0, max_value=1e9, allow_nan=False)
+selectivities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+rates = st.floats(min_value=1e-9, max_value=1.0, allow_nan=False)
+
+
+class TestCapacityAggregate:
+    @given(
+        st.lists(
+            st.tuples(costs, rates), min_size=1, max_size=8
+        )
+    )
+    def test_merge_order_independent(self, parts):
+        """cap(P) must not depend on the merge order (it is a set)."""
+        aggregates = [CapacityAggregate(c, r) for c, r in parts]
+        forward = CapacityAggregate.empty()
+        for aggregate in aggregates:
+            forward = forward.merge(aggregate)
+        backward = CapacityAggregate.empty()
+        for aggregate in reversed(aggregates):
+            backward = backward.merge(aggregate)
+        # Floating-point addition is only approximately associative.
+        assert math.isclose(forward.cost_ns, backward.cost_ns, rel_tol=1e-9)
+        assert math.isclose(
+            forward.rate_per_ns, backward.rate_per_ns, rel_tol=1e-9
+        )
+
+    @given(st.tuples(costs, rates), st.tuples(costs, rates))
+    def test_merging_never_increases_capacity(self, a, b):
+        """Adding members can only reduce a group's capacity."""
+        left = CapacityAggregate(*a)
+        right = CapacityAggregate(*b)
+        merged = left.merge(right)
+        assert merged.capacity_ns <= left.capacity_ns + 1e-9
+        assert merged.capacity_ns <= right.capacity_ns + 1e-9
+
+    @given(st.tuples(costs, rates))
+    def test_empty_is_identity(self, part):
+        aggregate = CapacityAggregate(*part)
+        merged = aggregate.merge(CapacityAggregate.empty())
+        assert merged == aggregate
+
+
+class TestLowerEnvelope:
+    @given(
+        st.lists(
+            st.tuples(positive_costs, selectivities), min_size=1, max_size=12
+        )
+    )
+    def test_segments_partition_operators(self, ops):
+        costs_list = [c for c, _ in ops]
+        sels = [s for _, s in ops]
+        segments = lower_envelope_segments(costs_list, sels)
+        flat = [i for segment in segments for i in segment]
+        assert flat == list(range(len(ops)))
+        assert all(segment == sorted(segment) for segment in segments)
+
+    @given(
+        st.lists(
+            st.tuples(positive_costs, selectivities), min_size=1, max_size=12
+        )
+    )
+    def test_envelope_slopes_non_decreasing(self, ops):
+        """Successive envelope segments flatten out (convexity)."""
+        costs_list = [c for c, _ in ops]
+        sels = [s for _, s in ops]
+        segments = lower_envelope_segments(costs_list, sels)
+        slopes = segment_slopes(costs_list, sels)
+        segment_slope_values = [slopes[segment[0]] for segment in segments]
+        for earlier, later in zip(segment_slope_values, segment_slope_values[1:]):
+            assert earlier <= later + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(positive_costs, selectivities), min_size=1, max_size=12
+        )
+    )
+    def test_chart_is_monotone_in_cost(self, ops):
+        costs_list = [c for c, _ in ops]
+        sels = [s for _, s in ops]
+        chart = progress_chart(costs_list, sels)
+        for earlier, later in zip(chart, chart[1:]):
+            assert later.cumulative_cost_ns >= earlier.cumulative_cost_ns
+            assert later.remaining_fraction <= earlier.remaining_fraction + 1e-12
+
+
+class TestSelectivityCounter:
+    @given(
+        selectivity=selectivities,
+        batches=st.lists(st.integers(min_value=1, max_value=500), max_size=40),
+    )
+    def test_exact_floor_totals(self, selectivity, batches):
+        """After any batching, output == floor(total_in * s)."""
+        counter = SelectivityCounter(selectivity)
+        total_in = 0
+        total_out = 0
+        for batch in batches:
+            out = counter.take(batch)
+            assert 0 <= out <= batch
+            total_in += batch
+            total_out += out
+        assert total_out == math.floor(total_in * selectivity)
+
+    @given(
+        selectivity=selectivities,
+        batches=st.lists(st.integers(min_value=1, max_value=100), max_size=30),
+    )
+    def test_matches_simulated_selection(self, selectivity, batches):
+        """The count-level counter agrees with the element-level kernel."""
+        from repro.operators.selection import SimulatedSelection
+        from repro.streams.elements import StreamElement
+
+        counter = SelectivityCounter(selectivity)
+        kernel = SimulatedSelection(selectivity)
+        index = 0
+        for batch in batches:
+            from_counter = counter.take(batch)
+            from_kernel = 0
+            for _ in range(batch):
+                from_kernel += len(
+                    kernel.process(StreamElement(value=index, timestamp=index))
+                )
+                index += 1
+            assert from_counter == from_kernel
+
+
+class TestPlacementProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_operators=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_algorithm1_invariants_on_random_graphs(self, n_operators, seed):
+        graph = random_query_dag(
+            RandomDagConfig(n_operators=n_operators, seed=seed)
+        )
+        result = stall_avoiding_partitioning(graph, include_sources=False)
+        # 1. Every operator is covered exactly once.
+        operators = graph.operators(include_queues=False)
+        assert result.partitioning.covers(operators)
+        assert sum(len(p) for p in result.partitioning) == len(operators)
+        # 2. Partitions are connected subgraphs.
+        result.partitioning.validate(graph)
+        # 3. The capacity constraint holds for every multi-node VO.
+        for partition in result.partitioning:
+            if len(partition) > 1:
+                assert partition.capacity_ns() >= -1e-6
+        # 4. Queue edges are exactly the partition-crossing edges.
+        assert set(result.queue_edges) == set(
+            result.partitioning.crossing_edges(graph)
+        )

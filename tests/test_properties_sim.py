@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the discrete-event simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.requests import Compute, Pop, Push
+
+FREE = CostModel(
+    context_switch_ns=0,
+    enqueue_ns=0,
+    dequeue_ns=0,
+    wake_ns=0,
+    per_thread_switch_ns=0.0,
+)
+
+
+class TestWorkConservation:
+    @given(
+        durations=st.lists(
+            st.integers(min_value=0, max_value=100_000), min_size=1, max_size=10
+        ),
+        n_cores=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, durations, n_cores):
+        """Runtime is between work/cores and total work (no overheads)."""
+
+        def job(d):
+            yield Compute(d)
+
+        machine = Machine(n_cores=n_cores, cost_model=FREE)
+        for duration in durations:
+            machine.spawn(job(duration))
+        makespan = machine.run()
+        total = sum(durations)
+        longest = max(durations)
+        # Lower bound: perfect parallelism (and no job splits cores).
+        assert makespan >= max(-(-total // n_cores), longest)
+        # Upper bound: full serialization.
+        assert makespan <= total
+
+    @given(
+        durations=st.lists(
+            st.integers(min_value=1, max_value=50_000), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_core_serializes_exactly(self, durations):
+        def job(d):
+            yield Compute(d)
+
+        machine = Machine(n_cores=1, cost_model=FREE)
+        for duration in durations:
+            machine.spawn(job(duration))
+        assert machine.run() == sum(durations)
+
+    @given(
+        durations=st.lists(
+            st.integers(min_value=0, max_value=50_000), min_size=1, max_size=8
+        ),
+        n_cores=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cpu_accounting_is_exact(self, durations, n_cores):
+        def job(d):
+            yield Compute(d)
+
+        machine = Machine(n_cores=n_cores, cost_model=FREE)
+        threads = [machine.spawn(job(d)) for d in durations]
+        machine.run()
+        for thread, duration in zip(threads, durations):
+            assert thread.cpu_ns == duration
+
+
+class TestPipelineConservation:
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=100), max_size=40),
+        n_cores=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_element_lost_through_queue(self, items, n_cores):
+        machine = Machine(n_cores=n_cores, cost_model=FREE)
+        q = machine.new_queue()
+        received = []
+
+        def producer():
+            for item in items:
+                yield Compute(10)
+                yield Push(q, item)
+            yield Push(q, None)
+
+        def consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+                received.append(item)
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert received == items
+
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=50), max_size=25),
+        seed_costs=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_determinism_under_arbitrary_programs(self, items, seed_costs):
+        def build():
+            machine = Machine(n_cores=2)
+            q1, q2 = machine.new_queue(), machine.new_queue()
+            log = []
+
+            def producer():
+                for item in items:
+                    yield Compute(100 + seed_costs * 13)
+                    yield Push(q1, item)
+                yield Push(q1, None)
+
+            def relay():
+                while True:
+                    item = yield Pop(q1)
+                    yield Push(q2, item)
+                    if item is None:
+                        return
+
+            def consumer():
+                while True:
+                    item = yield Pop(q2)
+                    if item is None:
+                        return
+                    log.append((machine.now, item))
+
+            machine.spawn(producer())
+            machine.spawn(relay())
+            machine.spawn(consumer())
+            end = machine.run()
+            return end, log
+
+        assert build() == build()

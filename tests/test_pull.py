@@ -1,0 +1,267 @@
+"""Tests for the pull-based ONC substrate, proxies, and pull VOs."""
+
+import pytest
+
+from repro.errors import PullProcessingError, VirtualOperatorError
+from repro.graph.builder import QueryBuilder
+from repro.operators.queue_op import QueueOperator
+from repro.operators.selection import Selection
+from repro.operators.union import Union
+from repro.operators.joins import SymmetricHashJoin
+from repro.pull.onc import (
+    BinaryPullOperator,
+    OncListSource,
+    OncQueueReader,
+    UnaryPullOperator,
+    drain,
+)
+from repro.pull.proxy import Proxy
+from repro.pull.vo import build_pull_vo
+from repro.streams.elements import (
+    END_OF_STREAM,
+    StreamElement,
+    is_end,
+    is_no_element,
+)
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+
+def element(value, timestamp=0):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestOncListSource:
+    def test_delivers_then_ends(self):
+        src = OncListSource([element(1), element(2)])
+        src.open()
+        assert src.next().value == 1
+        assert src.next().value == 2
+        assert is_end(src.next())
+
+    def test_next_before_open_rejected(self):
+        src = OncListSource([])
+        with pytest.raises(PullProcessingError):
+            src.next()
+
+    def test_double_open_rejected(self):
+        src = OncListSource([])
+        src.open()
+        with pytest.raises(PullProcessingError):
+            src.open()
+
+    def test_next_after_close_rejected(self):
+        src = OncListSource([])
+        src.open()
+        src.close()
+        with pytest.raises(PullProcessingError):
+            src.next()
+
+
+class TestOncQueueReader:
+    def test_hasnext_disambiguation(self):
+        """The Section 2.2 problem: empty-now versus ended."""
+        queue = QueueOperator()
+        reader = OncQueueReader(queue)
+        reader.open()
+        assert is_no_element(reader.next())  # empty *now*, not ended
+        queue.push(element(1))
+        assert reader.next().value == 1
+        queue.push(END_OF_STREAM)
+        assert is_end(reader.next())  # ended *forever*
+        assert is_end(reader.next())  # stays ended
+
+    def test_data_before_end_marker_is_drained(self):
+        queue = QueueOperator()
+        queue.push(element(1))
+        queue.end_port(0)
+        reader = OncQueueReader(queue)
+        reader.open()
+        assert reader.next().value == 1
+        assert is_end(reader.next())
+
+
+class TestUnaryPullOperator:
+    def test_filters_lazily(self):
+        src = OncListSource([element(v) for v in range(10)])
+        op = UnaryPullOperator(Selection(lambda v: v % 2 == 0), src)
+        assert [e.value for e in drain(op)] == [0, 2, 4, 6, 8]
+
+    def test_propagates_no_element(self):
+        queue = QueueOperator()
+        op = UnaryPullOperator(
+            Selection(lambda v: True), OncQueueReader(queue)
+        )
+        op.open()
+        assert is_no_element(op.next())
+        queue.push(element(3))
+        assert op.next().value == 3
+
+    def test_rejects_binary_kernel(self):
+        with pytest.raises(PullProcessingError):
+            UnaryPullOperator(Union(arity=2), OncListSource([]))
+
+    def test_selective_kernel_consumes_until_output(self):
+        src = OncListSource([element(v) for v in (1, 1, 1, 8)])
+        op = UnaryPullOperator(Selection(lambda v: v > 5), src)
+        op.open()
+        assert op.next().value == 8  # consumed three non-matching first
+
+
+class TestBinaryPullOperator:
+    def test_union_merges(self):
+        op = BinaryPullOperator(
+            Union(arity=2),
+            OncListSource([element(1), element(2)]),
+            OncListSource([element(10)]),
+        )
+        values = sorted(e.value for e in drain(op))
+        assert values == [1, 2, 10]
+
+    def test_join_matches(self):
+        left = OncListSource([element(5, 0), element(6, 1)])
+        right = OncListSource([element(5, 2)])
+        op = BinaryPullOperator(SymmetricHashJoin(10**9), left, right)
+        assert [e.value for e in drain(op)] == [(5, 5)]
+
+    def test_one_side_ended_keeps_pulling_other(self):
+        queue = QueueOperator()
+        queue.push(element(1))
+        queue.push(END_OF_STREAM)
+        op = BinaryPullOperator(
+            Union(arity=2),
+            OncQueueReader(queue),
+            OncListSource([element(2)]),
+        )
+        values = sorted(e.value for e in drain(op))
+        assert values == [1, 2]
+
+
+class TestProxy:
+    def test_forwards_decisively(self):
+        queue = QueueOperator()
+        proxy = Proxy(OncQueueReader(queue))
+        proxy.open()
+        assert is_no_element(proxy.next())
+        queue.push(element(9))
+        assert proxy.next().value == 9
+        assert proxy.pulls == 2
+
+    def test_opens_and_closes_source(self):
+        src = OncListSource([])
+        proxy = Proxy(src)
+        proxy.open()
+        assert src.opened
+        proxy.close()
+        assert src.closed
+
+
+class TestPullVO:
+    def make_chain_graph(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        stream = build.source(ListSource([]))
+        s1 = stream.where(lambda v: v % 2 == 0, name="even")
+        s2 = s1.where(lambda v: v > 4, name="big")
+        s2.into(sink)
+        graph = build.graph(validate=False)
+        return graph, s1.node, s2.node
+
+    def test_chain_vo_pulls_through_proxy(self):
+        """The Fig. 2 transformation: two selections, one proxy, one root."""
+        graph, n1, n2 = self.make_chain_graph()
+        queue = QueueOperator()
+        for v in range(10):
+            queue.push(element(v))
+        queue.push(END_OF_STREAM)
+        entry_edge = graph.in_edges(n1)[0]
+        root = build_pull_vo(
+            graph, [n1, n2], {entry_edge: OncQueueReader(queue)}
+        )
+        assert [e.value for e in drain(root)] == [6, 8]
+
+    def test_rejects_shared_subquery(self):
+        """Section 3.4: sharing inside a pull VO is impossible."""
+        build = QueryBuilder()
+        shared = build.source(ListSource([])).where(lambda v: True, name="shared")
+        a = shared.where(lambda v: True, name="a")
+        b = shared.where(lambda v: True, name="b")
+        a.into(CollectingSink("sa"))
+        b.into(CollectingSink("sb"))
+        graph = build.graph(validate=False)
+        members = [shared.node, a.node, b.node]
+        entry = graph.in_edges(shared.node)[0]
+        with pytest.raises(VirtualOperatorError, match="sharing"):
+            build_pull_vo(graph, members, {entry: OncListSource([])})
+
+    def test_rejects_two_roots(self):
+        build = QueryBuilder()
+        a = build.source(ListSource([])).where(lambda v: True, name="a")
+        b = build.source(ListSource([])).where(lambda v: True, name="b")
+        a.into(CollectingSink("sa"))
+        b.into(CollectingSink("sb"))
+        graph = build.graph(validate=False)
+        feeds = {
+            graph.in_edges(a.node)[0]: OncListSource([]),
+            graph.in_edges(b.node)[0]: OncListSource([]),
+        }
+        with pytest.raises(VirtualOperatorError, match="root"):
+            build_pull_vo(graph, [a.node, b.node], feeds)
+
+    def test_missing_entry_feed_rejected(self):
+        graph, n1, n2 = self.make_chain_graph()
+        with pytest.raises(VirtualOperatorError, match="entry feed"):
+            build_pull_vo(graph, [n1, n2], {})
+
+    def test_tree_vo_with_join(self):
+        build = QueryBuilder()
+        sink = CollectingSink()
+        left = build.source(ListSource([])).where(lambda v: True, name="l")
+        right = build.source(ListSource([])).where(lambda v: True, name="r")
+        joined = left.hash_join(right, window_ns=10**9)
+        joined.into(sink)
+        graph = build.graph(validate=False)
+        members = [left.node, right.node, joined.node]
+        feeds = {
+            graph.in_edges(left.node)[0]: OncListSource(
+                [element(1, 0), element(2, 1)]
+            ),
+            graph.in_edges(right.node)[0]: OncListSource([element(2, 2)]),
+        }
+        root = build_pull_vo(graph, members, feeds)
+        assert [e.value for e in drain(root)] == [(2, 2)]
+
+
+class TestPushPullEquivalence:
+    def test_same_results_both_paradigms(self):
+        """Section 3: VOs work under both paradigms, same semantics."""
+        values = list(range(50))
+
+        # Push: DI through the graph.
+        from repro.core.dataflow import Dispatcher
+
+        build = QueryBuilder()
+        push_sink = CollectingSink()
+        stream = build.source(ListSource(values))
+        stream.where(lambda v: v % 3 == 0).map(lambda v: v * 2).into(push_sink)
+        graph = build.graph()
+        dispatcher = Dispatcher(graph)
+        src = graph.sources()[0]
+        for e in src.payload:
+            for edge in graph.out_edges(src):
+                dispatcher.inject(edge.consumer, e, edge.port)
+        for edge in graph.out_edges(src):
+            dispatcher.inject_end(edge.consumer, edge.port)
+
+        # Pull: the same kernels as ONC iterators.
+        from repro.operators.projection import MapOperator
+
+        pull_root = UnaryPullOperator(
+            MapOperator(lambda v: v * 2),
+            UnaryPullOperator(
+                Selection(lambda v: v % 3 == 0),
+                OncListSource([element(v) for v in values]),
+            ),
+        )
+        pulled = [e.value for e in drain(pull_root)]
+        assert pulled == push_sink.values

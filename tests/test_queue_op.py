@@ -1,0 +1,139 @@
+"""Tests for the queue-as-operator decoupling point."""
+
+import threading
+
+import pytest
+
+from repro.operators.queue_op import QueueOperator
+from repro.streams.elements import END_OF_STREAM, StreamElement, is_end
+
+
+def element(value, timestamp=0):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestBasics:
+    def test_process_buffers_and_returns_nothing(self):
+        q = QueueOperator()
+        assert q.process(element(1)) == []
+        assert len(q) == 1
+
+    def test_fifo_order(self):
+        q = QueueOperator()
+        for i in range(5):
+            q.push(element(i))
+        assert [q.try_pop().value for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_try_pop_empty_returns_none(self):
+        assert QueueOperator().try_pop() is None
+
+    def test_drain_all(self):
+        q = QueueOperator()
+        for i in range(4):
+            q.push(element(i))
+        assert [e.value for e in q.drain()] == [0, 1, 2, 3]
+        assert q.empty
+
+    def test_drain_with_limit(self):
+        q = QueueOperator()
+        for i in range(4):
+            q.push(element(i))
+        assert [e.value for e in q.drain(limit=2)] == [0, 1]
+        assert len(q) == 2
+
+    def test_peak_size_tracking(self):
+        q = QueueOperator()
+        for i in range(10):
+            q.push(element(i))
+        for _ in range(10):
+            q.try_pop()
+        q.push(element(99))
+        assert q.peak_size == 10
+
+    def test_total_enqueued(self):
+        q = QueueOperator()
+        for i in range(7):
+            q.push(element(i))
+        assert q.total_enqueued == 7
+
+    def test_selectivity_one_cost_zero(self):
+        q = QueueOperator()
+        assert q.declared_selectivity == 1.0
+        assert q.declared_cost_ns == 0.0
+
+
+class TestEndOfStream:
+    def test_end_port_enqueues_marker_behind_data(self):
+        q = QueueOperator()
+        q.push(element(1))
+        q.end_port(0)
+        assert q.closed
+        first = q.try_pop()
+        second = q.try_pop()
+        assert first.value == 1
+        assert is_end(second)
+
+    def test_oldest_seq_skips_punctuation(self):
+        q = QueueOperator()
+        q.push(END_OF_STREAM)
+        assert q.oldest_seq() is None
+        data = element(5)
+        q.push(data)
+        assert q.oldest_seq() == data.seq
+
+    def test_reset(self):
+        q = QueueOperator()
+        q.push(element(1))
+        q.end_port(0)
+        q.reset()
+        assert not q.closed
+        assert q.empty
+        assert q.peak_size == 0
+
+
+class TestThreading:
+    def test_blocking_pop_wakes_on_push(self):
+        q = QueueOperator()
+        results = []
+
+        def consumer():
+            results.append(q.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.push(element("late"))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results[0].value == "late"
+
+    def test_pop_timeout_returns_none(self):
+        q = QueueOperator()
+        assert q.pop(timeout=0.01) is None
+
+    def test_push_listener_called(self):
+        q = QueueOperator()
+        hits = []
+        q.push_listener = lambda: hits.append(1)
+        q.push(element(1))
+        q.push(element(2))
+        assert len(hits) == 2
+
+    def test_concurrent_producers_lose_nothing(self):
+        q = QueueOperator()
+        n_threads, per_thread = 8, 500
+
+        def producer(base):
+            for i in range(per_thread):
+                q.push(element(base + i))
+
+        threads = [
+            threading.Thread(target=producer, args=(k * per_thread,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        values = {q.try_pop().value for _ in range(n_threads * per_thread)}
+        assert len(values) == n_threads * per_thread
+        assert q.empty

@@ -1,0 +1,121 @@
+"""Tests for rate/interarrival measurement primitives."""
+
+import pytest
+
+from repro.streams.rates import (
+    NANOS_PER_SECOND,
+    EwmaEstimator,
+    InterarrivalTracker,
+    SlidingRateMeter,
+)
+
+
+class TestEwmaEstimator:
+    def test_first_observation_seeds_value(self):
+        ewma = EwmaEstimator(alpha=0.5)
+        assert ewma.observe(10.0) == 10.0
+        assert ewma.value == 10.0
+
+    def test_blending(self):
+        ewma = EwmaEstimator(alpha=0.5)
+        ewma.observe(10.0)
+        assert ewma.observe(20.0) == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last(self):
+        ewma = EwmaEstimator(alpha=1.0)
+        ewma.observe(10.0)
+        ewma.observe(99.0)
+        assert ewma.value == 99.0
+
+    def test_constant_series_converges_to_constant(self):
+        ewma = EwmaEstimator(alpha=0.2)
+        for _ in range(50):
+            ewma.observe(7.0)
+        assert ewma.value == pytest.approx(7.0)
+
+    def test_count_increments(self):
+        ewma = EwmaEstimator()
+        ewma.observe(1.0)
+        ewma.observe(2.0)
+        assert ewma.count == 2
+
+    def test_reset(self):
+        ewma = EwmaEstimator()
+        ewma.observe(5.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.count == 0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=alpha)
+
+
+class TestInterarrivalTracker:
+    def test_no_estimate_before_two_arrivals(self):
+        tracker = InterarrivalTracker()
+        tracker.observe_arrival(100)
+        assert tracker.interarrival_ns is None
+        assert tracker.rate_per_second is None
+
+    def test_uniform_gaps(self):
+        tracker = InterarrivalTracker(alpha=1.0)
+        for t in range(0, 10_000, 1_000):
+            tracker.observe_arrival(t)
+        assert tracker.interarrival_ns == pytest.approx(1_000)
+
+    def test_rate_is_reciprocal_of_gap(self):
+        tracker = InterarrivalTracker(alpha=1.0)
+        # 1 ms gaps = 1000 elements per second.
+        tracker.observe_arrival(0)
+        tracker.observe_arrival(1_000_000)
+        assert tracker.rate_per_second == pytest.approx(1_000.0)
+
+    def test_out_of_order_arrival_counts_as_zero_gap(self):
+        # Join/union outputs are not globally ordered; a tardy arrival
+        # must not corrupt the estimate (it contributes a zero gap).
+        tracker = InterarrivalTracker(alpha=1.0)
+        tracker.observe_arrival(1_000)
+        tracker.observe_arrival(999)
+        assert tracker.interarrival_ns == 0.0
+        tracker.observe_arrival(2_000)
+        # The high-water mark is still 1_000, so the gap is 1_000.
+        assert tracker.interarrival_ns == 1_000.0
+
+    def test_counts_arrivals(self):
+        tracker = InterarrivalTracker()
+        for t in (0, 1, 2, 3):
+            tracker.observe_arrival(t)
+        assert tracker.arrivals == 4
+
+
+class TestSlidingRateMeter:
+    def test_rate_over_window(self):
+        meter = SlidingRateMeter(window_ns=NANOS_PER_SECOND)
+        for t in range(0, NANOS_PER_SECOND, NANOS_PER_SECOND // 100):
+            meter.observe_arrival(t)
+        # 100 arrivals in the last second.
+        assert meter.rate_at(NANOS_PER_SECOND - 1) == pytest.approx(100.0)
+
+    def test_old_arrivals_are_evicted(self):
+        meter = SlidingRateMeter(window_ns=NANOS_PER_SECOND)
+        meter.observe_arrival(0)
+        meter.observe_arrival(10 * NANOS_PER_SECOND)
+        assert meter.rate_at(10 * NANOS_PER_SECOND) == pytest.approx(1.0)
+
+    def test_total_arrivals_survive_eviction(self):
+        meter = SlidingRateMeter(window_ns=100)
+        for t in (0, 1_000, 2_000):
+            meter.observe_arrival(t)
+        assert meter.total_arrivals == 3
+
+    def test_rejects_decreasing_timestamps(self):
+        meter = SlidingRateMeter(window_ns=100)
+        meter.observe_arrival(50)
+        with pytest.raises(ValueError):
+            meter.observe_arrival(49)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SlidingRateMeter(window_ns=0)

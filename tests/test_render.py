@@ -1,0 +1,91 @@
+"""Tests for DOT/text graph rendering."""
+
+from repro.graph.builder import QueryBuilder
+from repro.graph.render import to_dot, to_text
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ListSource
+
+
+def sample_graph():
+    build = QueryBuilder("render-test")
+    sink = CountingSink("out")
+    (
+        build.source(ListSource(range(5)), name="src")
+        .where(lambda v: True, name="filter-a", cost_ns=100.0, selectivity=0.5)
+        .where(lambda v: True, name="filter-b", cost_ns=200.0)
+        .into(sink)
+    )
+    graph = build.graph()
+    return graph
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self):
+        graph = sample_graph()
+        dot = to_dot(graph)
+        assert dot.startswith("digraph query {")
+        assert dot.rstrip().endswith("}")
+        for node in graph.nodes:
+            assert f"n{node.node_id}" in dot
+        assert dot.count("->") == len(graph.edges)
+
+    def test_queue_rendered_as_box(self):
+        graph = sample_graph()
+        graph.decouple_all()
+        dot = to_dot(graph)
+        assert "shape=box" in dot
+
+    def test_vo_clusters(self):
+        graph = sample_graph()
+        graph.decouple_all()
+        dot = to_dot(graph, cluster_vos=True)
+        assert dot.count("subgraph cluster_vo") == 2  # two singleton VOs
+
+    def test_no_clusters_when_disabled(self):
+        dot = to_dot(sample_graph(), cluster_vos=False)
+        assert "subgraph" not in dot
+
+    def test_annotations(self):
+        dot = to_dot(sample_graph(), show_annotations=True)
+        assert "c=100ns" in dot
+        assert "s=0.5" in dot
+
+    def test_title_and_escaping(self):
+        dot = to_dot(sample_graph(), title='the "query"')
+        assert 'label="the \\"query\\""' in dot
+
+    def test_join_ports_labeled(self):
+        from repro.streams.elements import StreamElement
+
+        build = QueryBuilder()
+        sink = CountingSink()
+        left = build.source(ListSource([StreamElement(value=1)]), name="l")
+        right = build.source(ListSource([StreamElement(value=1)]), name="r")
+        left.hash_join(right, window_ns=10).into(sink)
+        dot = to_dot(build.graph(), cluster_vos=False)
+        assert 'label="0"' in dot and 'label="1"' in dot
+
+
+class TestText:
+    def test_topological_listing(self):
+        graph = sample_graph()
+        text = to_text(graph)
+        lines = text.splitlines()
+        assert "render-test" in lines[0]
+        src_index = next(i for i, l in enumerate(lines) if "src" in l)
+        sink_index = next(i for i, l in enumerate(lines) if "out" in l)
+        assert src_index < sink_index
+
+    def test_shows_vo_membership(self):
+        graph = sample_graph()
+        text = to_text(graph)
+        assert "(vo 0)" in text
+
+    def test_shows_consumers(self):
+        text = to_text(sample_graph())
+        assert "-> filter-b" in text
+
+    def test_queue_marked(self):
+        graph = sample_graph()
+        graph.decouple_all()
+        assert "[queue" in to_text(graph)

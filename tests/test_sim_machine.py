@@ -1,0 +1,475 @@
+"""Tests for the discrete-event multicore machine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sim.requests import (
+    Compute,
+    Pop,
+    PopBatch,
+    Push,
+    Sleep,
+    WaitAny,
+    YieldCpu,
+)
+
+# A cost model with zero overheads: timing assertions become exact.
+FREE = CostModel(
+    context_switch_ns=0,
+    enqueue_ns=0,
+    dequeue_ns=0,
+    wake_ns=0,
+    strategy_select_ns=0,
+    di_call_ns=0,
+    per_thread_switch_ns=0.0,
+)
+
+
+def compute_only(duration):
+    yield Compute(duration)
+
+
+class TestCompute:
+    def test_single_thread_runtime(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        machine.spawn(compute_only(5_000))
+        assert machine.run() == 5_000
+
+    def test_two_threads_one_core_serialize(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        machine.spawn(compute_only(5_000))
+        machine.spawn(compute_only(5_000))
+        assert machine.run() == 10_000
+
+    def test_two_threads_two_cores_parallelize(self):
+        machine = Machine(n_cores=2, cost_model=FREE)
+        machine.spawn(compute_only(5_000))
+        machine.spawn(compute_only(5_000))
+        assert machine.run() == 5_000
+
+    def test_three_threads_two_cores_run_to_completion(self):
+        # Quantum (10 ms) exceeds the jobs: no preemption, so two jobs
+        # finish at 10k and the third runs 10k..20k.
+        machine = Machine(n_cores=2, cost_model=FREE)
+        for _ in range(3):
+            machine.spawn(compute_only(10_000))
+        assert machine.run() == 20_000
+
+    def test_three_threads_two_cores_fair_slicing(self):
+        # With a small quantum the three jobs interleave and the
+        # makespan approaches the work-conserving optimum of 15k.
+        import dataclasses
+
+        model = dataclasses.replace(FREE, quantum_ns=1_000)
+        machine = Machine(n_cores=2, cost_model=model)
+        for _ in range(3):
+            machine.spawn(compute_only(10_000))
+        assert machine.run() == 15_000
+
+    def test_zero_compute_finishes_at_zero(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        machine.spawn(compute_only(0))
+        assert machine.run() == 0
+
+    def test_cpu_accounting(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        t = machine.spawn(compute_only(7_000))
+        machine.run()
+        assert t.cpu_ns == 7_000
+        assert t.finished_at == 7_000
+
+
+class TestPreemption:
+    def test_long_compute_is_sliced_fairly(self):
+        """Two CPU hogs on one core must interleave per quantum."""
+        model = CostModel(
+            context_switch_ns=0,
+            quantum_ns=1_000,
+            enqueue_ns=0,
+            dequeue_ns=0,
+            wake_ns=0,
+            per_thread_switch_ns=0.0,
+        )
+        machine = Machine(n_cores=1, cost_model=model)
+        a = machine.spawn(compute_only(10_000), name="a")
+        b = machine.spawn(compute_only(2_000), name="b")
+        machine.run()
+        # b needs only 2 quanta; with fair slicing it finishes around
+        # t=4000 (interleaved), far before a at t=12000.
+        assert b.finished_at <= 4_000
+        assert a.finished_at == 12_000
+
+    def test_context_switch_cost_charged(self):
+        model = CostModel(
+            context_switch_ns=100,
+            quantum_ns=1_000,
+            enqueue_ns=0,
+            dequeue_ns=0,
+            wake_ns=0,
+            per_thread_switch_ns=0.0,
+        )
+        machine = Machine(n_cores=1, cost_model=model)
+        machine.spawn(compute_only(2_000), name="a")
+        machine.spawn(compute_only(2_000), name="b")
+        duration = machine.run()
+        assert machine.context_switches > 0
+        assert duration > 4_000  # work plus switch overhead
+
+    def test_no_switch_cost_for_same_thread(self):
+        model = CostModel(
+            context_switch_ns=1_000_000,
+            quantum_ns=1_000,
+            enqueue_ns=0,
+            dequeue_ns=0,
+            wake_ns=0,
+            per_thread_switch_ns=0.0,
+        )
+        machine = Machine(n_cores=1, cost_model=model)
+        machine.spawn(compute_only(10_000))
+        # Only the initial dispatch switches; re-dispatches of the same
+        # thread after preemption are free.
+        assert machine.run() == 10_000 + 1_000_000
+
+    def test_per_thread_switch_penalty_scales(self):
+        def runtime(n_threads):
+            model = CostModel(
+                context_switch_ns=1_000,
+                quantum_ns=1_000,
+                enqueue_ns=0,
+                dequeue_ns=0,
+                wake_ns=0,
+                per_thread_switch_ns=100.0,
+            )
+            machine = Machine(n_cores=1, cost_model=model)
+            for _ in range(n_threads):
+                machine.spawn(compute_only(10_000))
+            return machine.run()
+
+        # Same total work; more threads -> more expensive switches.
+        few, many = runtime(2), runtime(20)
+        assert many > (few / 2) * 20 / 2  # super-linear in thread count
+
+
+class TestQueues:
+    def test_push_pop_roundtrip(self):
+        machine = Machine(n_cores=2, cost_model=FREE)
+        q = machine.new_queue()
+        seen = []
+
+        def producer():
+            yield Compute(100)
+            yield Push(q, "hello")
+
+        def consumer():
+            item = yield Pop(q)
+            seen.append((machine.now, item))
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert seen == [(100, "hello")]
+
+    def test_pop_blocks_until_push(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q = machine.new_queue()
+        times = []
+
+        def producer():
+            yield Sleep(until_ns=5_000)
+            yield Push(q, 1)
+
+        def consumer():
+            yield Pop(q)
+            times.append(machine.now)
+
+        machine.spawn(consumer())
+        machine.spawn(producer())
+        machine.run()
+        assert times == [5_000]
+
+    def test_queue_costs_charged(self):
+        model = CostModel(
+            context_switch_ns=0,
+            enqueue_ns=100,
+            dequeue_ns=50,
+            wake_ns=0,
+            per_thread_switch_ns=0.0,
+        )
+        machine = Machine(n_cores=1, cost_model=model)
+        q = machine.new_queue()
+
+        def producer():
+            yield Push(q, "x", 1)
+
+        def consumer():
+            yield Pop(q)
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        assert machine.run() == 150
+
+    def test_weighted_push_charges_per_element(self):
+        model = CostModel(
+            context_switch_ns=0,
+            enqueue_ns=100,
+            dequeue_ns=0,
+            wake_ns=0,
+            per_thread_switch_ns=0.0,
+        )
+        machine = Machine(n_cores=1, cost_model=model)
+        q = machine.new_queue()
+
+        def producer():
+            yield Push(q, "batch", 10)
+
+        def consumer():
+            yield Pop(q)
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert q.total_enqueued == 10
+        p = machine.thread_by_name("thread-0")
+        assert p.cpu_ns == 1_000
+
+    def test_pop_batch_drains_buffer(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q = machine.new_queue()
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield Push(q, i)
+
+        def consumer():
+            batch = yield PopBatch(q)
+            got.extend(item for item, _ in batch)
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_pop_batch_max_items(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q = machine.new_queue()
+        sizes = []
+
+        def producer():
+            for i in range(5):
+                yield Push(q, i)
+
+        def consumer():
+            batch = yield PopBatch(q, max_items=2)
+            sizes.append(len(batch))
+            batch = yield PopBatch(q)
+            sizes.append(len(batch))
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert sizes == [2, 3]
+
+    def test_peak_size_tracked(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q = machine.new_queue()
+
+        def producer():
+            for i in range(7):
+                yield Push(q, i)
+
+        def consumer():
+            yield Sleep(until_ns=1)
+            while True:
+                item = yield Pop(q)
+                if item == 6:
+                    return
+
+        machine.spawn(producer())
+        machine.spawn(consumer())
+        machine.run()
+        assert q.peak_size == 7
+
+
+class TestWaitAny:
+    def test_resumes_with_ready_queues(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q1, q2 = machine.new_queue("q1"), machine.new_queue("q2")
+        observed = []
+
+        def producer():
+            yield Sleep(until_ns=1_000)
+            yield Push(q2, "x")
+
+        def scheduler():
+            ready = yield WaitAny([q1, q2])
+            observed.append((machine.now, [q.name for q in ready]))
+            yield Pop(q2)
+
+        machine.spawn(scheduler())
+        machine.spawn(producer())
+        machine.run()
+        assert observed == [(1_000, ["q2"])]
+
+    def test_immediate_when_data_present(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q1, q2 = machine.new_queue(), machine.new_queue()
+
+        def producer():
+            yield Push(q1, "a")
+
+        def scheduler():
+            ready = yield WaitAny([q1, q2])
+            assert ready == [q1]
+            yield Pop(q1)
+
+        machine.spawn(producer())
+        machine.spawn(scheduler())
+        machine.run()
+
+    def test_waiter_deregistered_from_all_queues(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q1, q2 = machine.new_queue(), machine.new_queue()
+
+        def producer():
+            yield Sleep(until_ns=100)
+            yield Push(q1, "a")
+            yield Sleep(until_ns=200)
+            yield Push(q2, "b")
+
+        def scheduler():
+            for _ in range(2):
+                ready = yield WaitAny([q1, q2])
+                yield Pop(ready[0])
+
+        machine.spawn(scheduler())
+        machine.spawn(producer())
+        machine.run()
+        assert q1.waiters == [] and q2.waiters == []
+
+
+class TestSleepAndPriorities:
+    def test_sleep_until_absolute_time(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        times = []
+
+        def sleeper():
+            yield Sleep(until_ns=123_456)
+            times.append(machine.now)
+
+        machine.spawn(sleeper())
+        machine.run()
+        assert times == [123_456]
+
+    def test_sleep_in_past_is_noop(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+
+        def program():
+            yield Compute(1_000)
+            yield Sleep(until_ns=10)  # already passed
+
+        machine.spawn(program())
+        assert machine.run() == 1_000
+
+    def test_priority_preference(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        order = []
+
+        def job(tag):
+            yield Compute(100)
+            order.append(tag)
+
+        machine.spawn(job("low"), priority=0.0)
+        machine.spawn(job("high"), priority=10.0)
+        machine.run()
+        assert order == ["high", "low"]
+
+    def test_yield_cpu_rotates(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        order = []
+
+        def polite(tag):
+            yield Compute(10)
+            yield YieldCpu()
+            yield Compute(10)
+            order.append(tag)
+
+        machine.spawn(polite("a"))
+        machine.spawn(polite("b"))
+        machine.run()
+        assert order == ["a", "b"]
+
+
+class TestFailureModes:
+    def test_deadlock_detected(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        q = machine.new_queue()
+
+        def starved():
+            yield Pop(q)
+
+        machine.spawn(starved(), name="starved")
+        with pytest.raises(DeadlockError, match="starved"):
+            machine.run()
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SimulationError):
+            Machine(n_cores=0)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_run_until_stops_early(self):
+        machine = Machine(n_cores=1, cost_model=FREE)
+        machine.spawn(compute_only(10_000))
+        assert machine.run(until_ns=5_000) == 5_000
+        # The run can be resumed to completion.
+        assert machine.run() == 10_000
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            machine = Machine(n_cores=2)
+            q1 = machine.new_queue()
+            q2 = machine.new_queue()
+            log = []
+
+            def producer():
+                for i in range(50):
+                    yield Compute(120)
+                    yield Push(q1, i)
+                yield Push(q1, None)
+
+            def middle():
+                while True:
+                    item = yield Pop(q1)
+                    if item is None:
+                        yield Push(q2, None)
+                        return
+                    yield Compute(200)
+                    yield Push(q2, item * 2)
+
+            def consumer():
+                while True:
+                    item = yield Pop(q2)
+                    if item is None:
+                        return
+                    log.append((machine.now, item))
+
+            machine.spawn(producer())
+            machine.spawn(middle())
+            machine.spawn(consumer())
+            end = machine.run()
+            return end, log, machine.context_switches
+
+        assert build() == build()
+
+    def test_utilization_bounded(self):
+        machine = Machine(n_cores=2, cost_model=FREE)
+        machine.spawn(compute_only(1_000))
+        machine.run()
+        assert 0.0 < machine.utilization() <= 1.0

@@ -1,0 +1,134 @@
+"""Tests for simulator measurement utilities and items."""
+
+import pytest
+
+from repro.sim.costs import CostModel
+from repro.sim.items import ElementBatch, EndMarker
+from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    ResultCounter,
+    Series,
+    arrival_rate_series,
+    sampler_program,
+)
+from repro.sim.requests import Compute
+
+SECOND = 1_000_000_000
+
+
+class TestSeries:
+    def test_record_and_value_at(self):
+        series = Series()
+        series.record(10, 1.0)
+        series.record(20, 5.0)
+        assert series.value_at(5) == 0.0  # before first point: default
+        assert series.value_at(10) == 1.0
+        assert series.value_at(15) == 1.0  # step interpolation
+        assert series.value_at(25) == 5.0
+
+    def test_rejects_time_travel(self):
+        series = Series()
+        series.record(10, 1.0)
+        with pytest.raises(ValueError):
+            series.record(9, 2.0)
+
+    def test_max_value(self):
+        series = Series()
+        assert series.max_value() == 0.0
+        series.record(0, 3.0)
+        series.record(1, 7.0)
+        series.record(2, 2.0)
+        assert series.max_value() == 7.0
+
+    def test_resampled_grid(self):
+        series = Series()
+        series.record(0, 1.0)
+        series.record(25, 2.0)
+        grid = series.resampled(step_ns=10, until_ns=40)
+        assert list(grid.points()) == [
+            (0, 1.0),
+            (10, 1.0),
+            (20, 1.0),
+            (30, 2.0),
+            (40, 2.0),
+        ]
+
+
+class TestResultCounter:
+    def test_accumulates_with_timestamps(self):
+        counter = ResultCounter()
+        counter.add(100, 2)
+        counter.add(200, 3)
+        assert counter.count == 5
+        assert list(counter.series.points()) == [(100, 2), (200, 5)]
+        assert counter.completed_at() == 200
+
+    def test_zero_and_negative_ignored(self):
+        counter = ResultCounter()
+        counter.add(100, 0)
+        assert counter.count == 0
+        assert counter.completed_at() is None
+
+
+class TestSamplerProgram:
+    def test_samples_until_last_thread(self):
+        machine = Machine(n_cores=1, cost_model=CostModel())
+        gauge_values = iter(range(100))
+        series = {"g": Series("g")}
+
+        def worker():
+            yield Compute(2_500_000_000)  # 2.5 simulated seconds
+
+        machine.spawn(worker(), name="worker")
+        machine.spawn(
+            sampler_program(
+                machine,
+                interval_ns=SECOND,
+                probes={"g": lambda: float(next(gauge_values))},
+                series=series,
+            ),
+            name="sampler",
+        )
+        machine.run()
+        # Samples at ~0, ~1s, ~2s, then once more after the worker ends.
+        assert len(series["g"]) >= 3
+        # On one core the first sample waits for the worker's first
+        # quantum (10 ms), not longer.
+        assert series["g"].times[0] <= 20_000_000
+
+    def test_rejects_bad_interval(self):
+        machine = Machine()
+        with pytest.raises(ValueError):
+            next(sampler_program(machine, 0, {}, {}))
+
+
+class TestArrivalRateSeries:
+    def test_constant_rate_measured(self):
+        # 1000 el/s for 10 seconds.
+        arrivals = list(range(0, 10 * SECOND, SECOND // 1000))
+        series = arrival_rate_series(arrivals, window_ns=2 * SECOND)
+        assert series.value_at(6 * SECOND) == pytest.approx(1000.0, rel=0.01)
+
+    def test_rate_drop_visible(self):
+        fast = list(range(0, 2 * SECOND, SECOND // 1000))
+        slow = list(range(2 * SECOND, 10 * SECOND, SECOND // 10))
+        series = arrival_rate_series(fast + slow, window_ns=SECOND)
+        assert series.value_at(1 * SECOND) > 500
+        assert series.value_at(8 * SECOND) < 50
+
+    def test_empty(self):
+        assert len(arrival_rate_series([])) == 0
+
+
+class TestItems:
+    def test_element_batch_seq_monotonic(self):
+        a = ElementBatch(1)
+        b = ElementBatch(5)
+        assert b.seq > a.seq
+
+    def test_element_batch_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ElementBatch(0)
+
+    def test_end_marker_sorts_after_batches(self):
+        assert EndMarker().seq > ElementBatch(1).seq

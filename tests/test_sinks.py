@@ -1,0 +1,79 @@
+"""Tests for sinks."""
+
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import (
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    LatencySink,
+    TimestampedCountSink,
+)
+
+
+def elements(*values):
+    return [StreamElement(value=v, timestamp=i) for i, v in enumerate(values)]
+
+
+class TestCollectingSink:
+    def test_collects_in_order(self):
+        sink = CollectingSink()
+        for e in elements(1, 2, 3):
+            sink.receive(e)
+        assert sink.values == [1, 2, 3]
+        assert len(sink) == 3
+
+    def test_on_end_sets_flag(self):
+        sink = CollectingSink()
+        assert not sink.ended
+        sink.on_end()
+        assert sink.ended
+
+
+class TestCountingSink:
+    def test_counts_without_storing(self):
+        sink = CountingSink()
+        for e in elements(*range(100)):
+            sink.receive(e)
+        assert sink.count == 100
+        assert len(sink) == 100
+
+
+class TestTimestampedCountSink:
+    def test_series_records_cumulative_counts(self):
+        sink = TimestampedCountSink()
+        sink.receive_at(StreamElement(value=1, timestamp=0), now_ns=10)
+        sink.receive_at(StreamElement(value=2, timestamp=0), now_ns=20)
+        assert sink.series == [(10, 1), (20, 2)]
+
+    def test_receive_falls_back_to_element_timestamp(self):
+        sink = TimestampedCountSink()
+        sink.receive(StreamElement(value=1, timestamp=555))
+        assert sink.series == [(555, 1)]
+
+
+class TestLatencySink:
+    def test_latency_is_now_minus_timestamp(self):
+        sink = LatencySink()
+        sink.receive_at(StreamElement(value=1, timestamp=100), now_ns=150)
+        assert sink.latencies_ns == [50]
+
+    def test_mean_and_max(self):
+        sink = LatencySink()
+        sink.receive_at(StreamElement(value=1, timestamp=0), now_ns=10)
+        sink.receive_at(StreamElement(value=2, timestamp=0), now_ns=30)
+        assert sink.mean_latency_ns == 20.0
+        assert sink.max_latency_ns == 30
+
+    def test_empty_defaults(self):
+        sink = LatencySink()
+        assert sink.mean_latency_ns == 0.0
+        assert sink.max_latency_ns == 0
+
+
+class TestCallbackSink:
+    def test_invokes_callback(self):
+        seen = []
+        sink = CallbackSink(lambda e: seen.append(e.value))
+        for e in elements("a", "b"):
+            sink.receive(e)
+        assert seen == ["a", "b"]

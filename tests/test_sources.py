@@ -1,0 +1,159 @@
+"""Tests for synthetic sources (emission schedules)."""
+
+import pytest
+
+from repro.streams.elements import StreamElement
+from repro.streams.rates import NANOS_PER_SECOND
+from repro.streams.sources import (
+    BurstPhase,
+    BurstySource,
+    ConstantRateSource,
+    ListSource,
+    PoissonSource,
+    sequence_values,
+    uniform_int_values,
+)
+
+
+class TestListSource:
+    def test_wraps_plain_values(self):
+        source = ListSource([10, 20, 30])
+        elements = list(source)
+        assert [e.value for e in elements] == [10, 20, 30]
+        assert [e.timestamp for e in elements] == [0, 1, 2]
+
+    def test_accepts_prepared_elements(self):
+        element = StreamElement(value="x", timestamp=99)
+        source = ListSource([element])
+        assert list(source) == [element]
+
+    def test_len(self):
+        assert len(ListSource(range(5))) == 5
+
+    def test_replay_is_identical(self):
+        source = ListSource(range(10))
+        assert list(source) == list(source)
+
+
+class TestConstantRateSource:
+    def test_timestamps_follow_rate(self):
+        source = ConstantRateSource(count=5, rate_per_second=1000.0)
+        stamps = [e.timestamp for e in source]
+        # 1000 el/s -> 1 ms interarrival.
+        assert stamps == [0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]
+
+    def test_values_default_to_index(self):
+        source = ConstantRateSource(count=3, rate_per_second=1.0)
+        assert [e.value for e in source] == [0, 1, 2]
+
+    def test_start_offset(self):
+        source = ConstantRateSource(count=2, rate_per_second=1000.0, start_ns=500)
+        assert [e.timestamp for e in source] == [500, 1_000_500]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ConstantRateSource(count=-1, rate_per_second=1.0)
+        with pytest.raises(ValueError):
+            ConstantRateSource(count=1, rate_per_second=0.0)
+
+    def test_paper_rate_500k(self):
+        # The Fig. 7 source emits at 500,000 elements per second.
+        source = ConstantRateSource(count=2, rate_per_second=500_000.0)
+        stamps = [e.timestamp for e in source]
+        assert stamps[1] - stamps[0] == 2_000  # 2 microseconds
+
+
+class TestPoissonSource:
+    def test_replay_is_identical(self):
+        source = PoissonSource(count=100, rate_per_second=1000.0, seed=7)
+        assert [e.timestamp for e in source] == [e.timestamp for e in source]
+
+    def test_different_seeds_differ(self):
+        a = PoissonSource(count=50, rate_per_second=1000.0, seed=1)
+        b = PoissonSource(count=50, rate_per_second=1000.0, seed=2)
+        assert [e.timestamp for e in a] != [e.timestamp for e in b]
+
+    def test_mean_rate_roughly_matches(self):
+        rate = 10_000.0
+        source = PoissonSource(count=5_000, rate_per_second=rate, seed=3)
+        stamps = [e.timestamp for e in source]
+        duration_s = (stamps[-1] - stamps[0]) / NANOS_PER_SECOND
+        measured = (len(stamps) - 1) / duration_s
+        assert measured == pytest.approx(rate, rel=0.1)
+
+    def test_timestamps_are_non_decreasing(self):
+        source = PoissonSource(count=500, rate_per_second=100_000.0, seed=5)
+        stamps = [e.timestamp for e in source]
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+class TestBurstySource:
+    def make_paper_source(self):
+        # Scaled-down Section 6.6 schedule: burst, trickle, burst, trickle.
+        return BurstySource(
+            phases=[
+                BurstPhase(count=100, rate_per_second=500_000.0),
+                BurstPhase(count=200, rate_per_second=250.0),
+                BurstPhase(count=200, rate_per_second=500_000.0),
+                BurstPhase(count=200, rate_per_second=250.0),
+            ]
+        )
+
+    def test_total_count(self):
+        assert len(self.make_paper_source()) == 700
+
+    def test_phase_durations(self):
+        source = self.make_paper_source()
+        # 200 elements at 250/s is 0.8 seconds.
+        assert source.phases[1].duration_ns() == pytest.approx(
+            0.8 * NANOS_PER_SECOND
+        )
+
+    def test_burst_is_fast_trickle_is_slow(self):
+        source = self.make_paper_source()
+        stamps = [e.timestamp for e in source]
+        burst_gap = stamps[1] - stamps[0]
+        trickle_gap = stamps[150] - stamps[149]
+        assert trickle_gap > 1000 * burst_gap
+
+    def test_values_are_global_indices(self):
+        source = self.make_paper_source()
+        assert [e.value for e in source][:5] == [0, 1, 2, 3, 4]
+
+    def test_requires_a_phase(self):
+        with pytest.raises(ValueError):
+            BurstySource(phases=[])
+
+
+class TestValueFns:
+    def test_uniform_int_values_in_range(self):
+        fn = uniform_int_values(0, 10_000, seed=1)
+        values = [fn(i) for i in range(1000)]
+        assert all(0 <= v <= 10_000 for v in values)
+
+    def test_uniform_int_values_replayable(self):
+        fn = uniform_int_values(0, 100, seed=9)
+        assert [fn(i) for i in range(50)] == [fn(i) for i in range(50)]
+
+    def test_uniform_int_values_out_of_order_access(self):
+        fn = uniform_int_values(0, 100, seed=9)
+        forward = [fn(i) for i in range(10)]
+        backward = [fn(i) for i in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_uniform_int_values_spread(self):
+        fn = uniform_int_values(0, 99, seed=4)
+        values = {fn(i) for i in range(2000)}
+        assert len(values) > 80  # close to covering the range
+
+    def test_uniform_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            uniform_int_values(5, 4, seed=0)
+
+    def test_sequence_values_default_identity(self):
+        fn = sequence_values()
+        assert fn(7) == 7
+
+    def test_sequence_values_explicit(self):
+        fn = sequence_values(["a", "b"])
+        assert fn(1) == "b"

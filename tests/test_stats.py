@@ -1,0 +1,75 @@
+"""Tests for runtime statistics (c(v)/d(v) measurement)."""
+
+import pytest
+
+from repro.graph.builder import QueryBuilder
+from repro.graph.query_graph import QueryGraph
+from repro.stats.estimators import OperatorStatistics, StatisticsRegistry
+from repro.streams.sinks import CountingSink
+from repro.streams.sources import ListSource
+
+
+class TestOperatorStatistics:
+    def test_measures_cost_and_interarrival(self):
+        stats = OperatorStatistics(alpha=1.0)
+        stats.observe(arrival_ns=0, processing_ns=500.0)
+        stats.observe(arrival_ns=1_000, processing_ns=700.0)
+        assert stats.cost_ns == 700.0
+        assert stats.interarrival_ns == 1_000.0
+        assert stats.elements == 2
+
+    def test_utilization(self):
+        stats = OperatorStatistics(alpha=1.0)
+        stats.observe(0, 500.0)
+        stats.observe(1_000, 500.0)
+        assert stats.utilization == pytest.approx(0.5)
+
+    def test_utilization_none_before_data(self):
+        assert OperatorStatistics().utilization is None
+
+    def test_overload_detectable(self):
+        stats = OperatorStatistics(alpha=1.0)
+        stats.observe(0, 2_000.0)
+        stats.observe(1_000, 2_000.0)
+        assert stats.utilization > 1.0
+
+
+class TestStatisticsRegistry:
+    def build_graph(self):
+        build = QueryBuilder()
+        sink = CountingSink()
+        stream = build.source(ListSource(range(10)))
+        node = stream.where(lambda v: True, name="sel").node
+        stream.where(lambda v: True).into(sink)
+        return build.graph(validate=False), node
+
+    def test_lazy_creation(self):
+        graph, node = self.build_graph()
+        registry = StatisticsRegistry()
+        assert len(registry) == 0
+        registry.observe(node, arrival_ns=0, processing_ns=100.0)
+        assert len(registry) == 1
+
+    def test_annotate_writes_measured_values(self):
+        graph, node = self.build_graph()
+        registry = StatisticsRegistry(alpha=1.0)
+        registry.observe(node, 0, 250.0)
+        registry.observe(node, 2_000, 250.0)
+        registry.annotate(graph)
+        assert node.cost_ns == pytest.approx(250.0)
+        assert node.interarrival_ns == pytest.approx(2_000.0)
+
+    def test_annotate_skips_sparse_measurements(self):
+        graph, node = self.build_graph()
+        registry = StatisticsRegistry()
+        registry.observe(node, 0, 250.0)  # a single sample
+        registry.annotate(graph, min_elements=2)
+        assert node.cost_ns is None  # selection has no declared cost
+
+    def test_iteration_yields_pairs(self):
+        graph, node = self.build_graph()
+        registry = StatisticsRegistry()
+        registry.observe(node, 0, 1.0)
+        pairs = list(registry)
+        assert pairs[0][0] is node
+        assert isinstance(pairs[0][1], OperatorStatistics)

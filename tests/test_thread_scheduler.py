@@ -1,0 +1,165 @@
+"""Tests for the level-3 thread scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.thread_scheduler import ThreadScheduler
+from repro.errors import SchedulingError
+
+
+class TestRegistration:
+    def test_register_and_priority(self):
+        ts = ThreadScheduler(max_concurrency=1)
+        ts.register("a", priority=5.0)
+        assert ts.priority_of("a") == 5.0
+
+    def test_duplicate_registration_rejected(self):
+        ts = ThreadScheduler()
+        ts.register("a")
+        with pytest.raises(SchedulingError):
+            ts.register("a")
+
+    def test_set_priority_at_runtime(self):
+        ts = ThreadScheduler()
+        ts.register("a", priority=1.0)
+        ts.set_priority("a", 9.0)
+        assert ts.priority_of("a") == 9.0
+
+    def test_unknown_unit_rejected(self):
+        ts = ThreadScheduler()
+        with pytest.raises(SchedulingError):
+            ts.acquire("ghost")
+
+    def test_unregister(self):
+        ts = ThreadScheduler()
+        ts.register("a")
+        ts.unregister("a")
+        with pytest.raises(SchedulingError):
+            ts.priority_of("a")
+
+
+class TestGate:
+    def test_unbounded_always_grants(self):
+        ts = ThreadScheduler(max_concurrency=None)
+        ts.register("a")
+        assert ts.acquire("a", timeout=1.0)
+        ts.release("a")
+
+    def test_respects_concurrency_bound(self):
+        ts = ThreadScheduler(max_concurrency=1)
+        ts.register("a")
+        ts.register("b")
+        assert ts.acquire("a", timeout=1.0)
+        assert not ts.acquire("b", timeout=0.05)
+        ts.release("a")
+        assert ts.acquire("b", timeout=1.0)
+        ts.release("b")
+
+    def test_double_acquire_rejected(self):
+        ts = ThreadScheduler()
+        ts.register("a")
+        ts.acquire("a", timeout=1.0)
+        with pytest.raises(SchedulingError):
+            ts.acquire("a")
+
+    def test_release_without_permit_rejected(self):
+        ts = ThreadScheduler()
+        ts.register("a")
+        with pytest.raises(SchedulingError):
+            ts.release("a")
+
+    def test_higher_priority_wins(self):
+        ts = ThreadScheduler(max_concurrency=1)
+        ts.register("low", priority=0.0)
+        ts.register("high", priority=100.0)
+        ts.acquire("low", timeout=1.0)  # occupy the slot
+        order = []
+
+        def waiter(name):
+            assert ts.acquire(name, timeout=5.0)
+            order.append(name)
+            ts.release(name)
+
+        threads = [
+            threading.Thread(target=waiter, args=("low2",)),
+            threading.Thread(target=waiter, args=("high",)),
+        ]
+        ts.register("low2", priority=0.0)
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # both now waiting
+        ts.release("low")
+        for t in threads:
+            t.join(timeout=5.0)
+        assert order[0] == "high"
+
+    def test_stop_wakes_waiters_with_denial(self):
+        ts = ThreadScheduler(max_concurrency=1)
+        ts.register("a")
+        ts.register("b")
+        ts.acquire("a", timeout=1.0)
+        results = []
+
+        def waiter():
+            results.append(ts.acquire("b", timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        ts.stop()
+        thread.join(timeout=5.0)
+        assert results == [False]
+
+    def test_grants_accounting(self):
+        ts = ThreadScheduler()
+        ts.register("a")
+        for _ in range(3):
+            ts.acquire("a", timeout=1.0)
+            ts.release("a")
+        assert ts.grants("a") == 3
+        assert ts.total_wait_ns("a") >= 0
+
+
+class TestStarvationPrevention:
+    def test_aging_eventually_runs_low_priority(self):
+        """A starving low-priority unit must overtake via aging."""
+        ts = ThreadScheduler(max_concurrency=1, aging_ns=1_000_000.0)  # 1 ms/point
+        ts.register("greedy", priority=10.0)
+        ts.register("meek", priority=0.0)
+        got_slot = threading.Event()
+
+        def meek():
+            if ts.acquire("meek", timeout=5.0):
+                got_slot.set()
+                ts.release("meek")
+
+        meek_thread = threading.Thread(target=meek)
+
+        stop = threading.Event()
+
+        def greedy():
+            while not stop.is_set():
+                if ts.acquire("greedy", timeout=0.5):
+                    time.sleep(0.005)
+                    ts.release("greedy")
+
+        greedy_thread = threading.Thread(target=greedy)
+        greedy_thread.start()
+        time.sleep(0.02)
+        meek_thread.start()
+        assert got_slot.wait(timeout=5.0), "low-priority unit starved"
+        stop.set()
+        greedy_thread.join(timeout=5.0)
+        meek_thread.join(timeout=5.0)
+
+
+class TestValidation:
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(SchedulingError):
+            ThreadScheduler(max_concurrency=0)
+
+    def test_rejects_non_positive_aging(self):
+        with pytest.raises(SchedulingError):
+            ThreadScheduler(aging_ns=0.0)

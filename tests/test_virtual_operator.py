@@ -1,0 +1,122 @@
+"""Tests for virtual operators."""
+
+import pytest
+
+from repro.core.virtual_operator import VirtualOperator, build_virtual_operators
+from repro.errors import VirtualOperatorError
+from repro.graph.builder import QueryBuilder
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+
+def element(value, timestamp=0):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+def selection_chain(n=3):
+    build = QueryBuilder()
+    sink = CollectingSink()
+    stream = build.source(ListSource([]))
+    ops = []
+    for i in range(n):
+        stream = stream.where(lambda v: v >= i, name=f"s{i}")
+        ops.append(stream.node)
+    stream.into(sink)
+    return build.graph(validate=False), ops, sink
+
+
+class TestConstruction:
+    def test_chain_vo(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops)
+        assert vo.arity == 1
+        assert len(vo.exit_edges) == 1
+
+    def test_rejects_disconnected_members(self):
+        graph, ops, sink = selection_chain()
+        with pytest.raises(VirtualOperatorError, match="connected"):
+            VirtualOperator(graph, [ops[0], ops[2]])
+
+    def test_rejects_queue_member(self):
+        graph, ops, sink = selection_chain()
+        queue = graph.insert_queue(graph.find_edge(ops[0], ops[1]))
+        with pytest.raises(VirtualOperatorError, match="queue"):
+            VirtualOperator(graph, [ops[0], queue, ops[1]])
+
+    def test_rejects_sink_member(self):
+        graph, ops, sink = selection_chain()
+        sink_node = graph.sinks()[0]
+        with pytest.raises(VirtualOperatorError, match="sink"):
+            VirtualOperator(graph, ops + [sink_node])
+
+    def test_rejects_empty(self):
+        graph, ops, sink = selection_chain()
+        with pytest.raises(VirtualOperatorError):
+            VirtualOperator(graph, [])
+
+    def test_contains(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops[:2])
+        assert vo.contains(ops[0])
+        assert not vo.contains(ops[2])
+
+
+class TestProcess:
+    def test_element_passes_through(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops)
+        captured = vo.process(element(10))
+        assert len(captured) == 1
+        edge, out = captured[0]
+        assert out.value == 10
+        assert edge.consumer.is_sink
+
+    def test_element_filtered_inside(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops)
+        # s1 requires v >= ... all selections use v >= i closure on i,
+        # but Python late binding makes them all v >= n-1; -1 fails all.
+        assert vo.process(element(-10)) == []
+
+    def test_process_does_not_leak_downstream(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops)
+        vo.process(element(10))
+        assert sink.values == []  # captured, not delivered
+
+    def test_bad_entry_index(self):
+        graph, ops, sink = selection_chain()
+        vo = VirtualOperator(graph, ops)
+        with pytest.raises(VirtualOperatorError):
+            vo.process(element(1), entry=5)
+
+
+class TestBuildVirtualOperators:
+    def test_undivided_chain_is_one_vo(self):
+        graph, ops, sink = selection_chain()
+        vos = build_virtual_operators(graph)
+        assert len(vos) == 1
+        assert set(vos[0].members) == set(ops)
+
+    def test_queue_splits_vos(self):
+        graph, ops, sink = selection_chain()
+        graph.insert_queue(graph.find_edge(ops[1], ops[2]))
+        vos = build_virtual_operators(graph)
+        sizes = sorted(len(vo.members) for vo in vos)
+        assert sizes == [1, 2]
+
+    def test_full_decoupling_gives_singletons(self):
+        graph, ops, sink = selection_chain()
+        graph.decouple_all()
+        vos = build_virtual_operators(graph)
+        assert sorted(len(vo.members) for vo in vos) == [1, 1, 1]
+
+    def test_capacity_of_vo(self):
+        graph, ops, sink = selection_chain()
+        for op in ops:
+            op.cost_ns = 100.0
+            op.interarrival_ns = 1_000.0
+        vo = build_virtual_operators(graph)[0]
+        # d(P) = 1000/3, c(P) = 300
+        assert vo.capacity_ns() == pytest.approx(1000 / 3 - 300)

@@ -1,0 +1,92 @@
+"""Tests for sliding windows."""
+
+import pytest
+
+from repro.operators.window import CountWindow, TimeWindow
+from repro.streams.elements import StreamElement
+
+
+def element(value, timestamp):
+    return StreamElement(value=value, timestamp=timestamp)
+
+
+class TestTimeWindow:
+    def test_keeps_recent_elements(self):
+        window = TimeWindow(size_ns=100)
+        window.insert(element(1, 0))
+        window.insert(element(2, 50))
+        assert len(window) == 2
+
+    def test_expires_on_insert(self):
+        window = TimeWindow(size_ns=100)
+        window.insert(element(1, 0))
+        window.insert(element(2, 150))
+        assert [e.value for e in window] == [2]
+
+    def test_boundary_is_half_open(self):
+        # Element at t remains while now - size < t, i.e. expires when
+        # t <= now - size.
+        window = TimeWindow(size_ns=100)
+        window.insert(element(1, 0))
+        window.expire(100)
+        assert len(window) == 0
+
+    def test_element_exactly_inside(self):
+        window = TimeWindow(size_ns=100)
+        window.insert(element(1, 1))
+        window.expire(100)
+        assert len(window) == 1
+
+    def test_expire_returns_drop_count(self):
+        window = TimeWindow(size_ns=10)
+        for t in (0, 1, 2, 100):
+            window.insert(element(t, t))
+        assert window.expire(200) == 1  # only t=100 was left
+
+    def test_tardy_element_inserted_in_order(self):
+        window = TimeWindow(size_ns=100)
+        window.insert(element("a", 50))
+        window.insert(element("c", 90))
+        assert window.insert(element("b", 70))
+        assert [e.timestamp for e in window] == [50, 70, 90]
+
+    def test_expired_on_arrival_is_dropped(self):
+        window = TimeWindow(size_ns=10)
+        window.insert(element(1, 100))
+        assert not window.insert(element(2, 80))
+        assert len(window) == 1
+
+    def test_one_minute_window_of_paper(self):
+        # 1000 el/s with a one-minute window keeps ~60000 elements.
+        window = TimeWindow(size_ns=60 * 10**9)
+        gap = 10**6  # 1 ms
+        for i in range(70_000):
+            window.insert(element(i, i * gap))
+        assert len(window) == 60_000
+
+    def test_clear(self):
+        window = TimeWindow(size_ns=10)
+        window.insert(element(1, 0))
+        window.clear()
+        assert len(window) == 0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            TimeWindow(size_ns=0)
+
+
+class TestCountWindow:
+    def test_bounded_population(self):
+        window = CountWindow(size=3)
+        for i in range(10):
+            window.insert(element(i, i))
+        assert [e.value for e in window] == [7, 8, 9]
+
+    def test_partial_fill(self):
+        window = CountWindow(size=5)
+        window.insert(element(1, 0))
+        assert len(window) == 1
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CountWindow(size=0)
