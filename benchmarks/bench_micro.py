@@ -21,6 +21,7 @@ from repro.streams.sinks import CountingSink
 from repro.streams.sources import ListSource
 
 N = 10_000
+BATCH = 64
 
 
 def test_selection_kernel_throughput(benchmark):
@@ -32,6 +33,21 @@ def test_selection_kernel_throughput(benchmark):
         total = 0
         for element in elements:
             total += len(op.process(element))
+        return total
+
+    assert benchmark(run) == N // 2
+
+
+def test_selection_kernel_batch_throughput(benchmark):
+    """Batched counterpart of test_selection_kernel_throughput."""
+    op = SimulatedSelection(0.5)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        op.reset()
+        total = 0
+        for start in range(0, N, BATCH):
+            total += len(op.process_batch(elements[start : start + BATCH]))
         return total
 
     assert benchmark(run) == N // 2
@@ -87,6 +103,27 @@ def test_di_dispatch_throughput(benchmark):
     assert benchmark(run) > 0
 
 
+def test_di_dispatch_batched_throughput(benchmark):
+    """Batched counterpart of test_di_dispatch_throughput (batch=64)."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for selectivity in (0.998, 0.996, 0.994, 0.992, 0.990):
+        stream = stream.where_fraction(selectivity)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    dispatcher = Dispatcher(graph)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        for start in range(0, N, BATCH):
+            dispatcher.inject_batch(first, elements[start : start + BATCH])
+        return dispatcher.sink_deliveries
+
+    assert benchmark(run) > 0
+
+
 def test_queue_operator_roundtrip(benchmark):
     queue = QueueOperator()
     elements = [StreamElement(value=i) for i in range(N)]
@@ -98,6 +135,46 @@ def test_queue_operator_roundtrip(benchmark):
         while queue.try_pop() is not None:
             drained += 1
         return drained
+
+    assert benchmark(run) == N
+
+
+def test_queue_operator_bulk_roundtrip(benchmark):
+    """Batched counterpart of test_queue_operator_roundtrip (batch=64)."""
+    queue = QueueOperator()
+    elements = [StreamElement(value=i) for i in range(N)]
+
+    def run():
+        for start in range(0, N, BATCH):
+            queue.push_many(elements[start : start + BATCH])
+        drained = 0
+        while True:
+            batch = queue.pop_many(BATCH)
+            if not batch:
+                return drained
+            drained += len(batch)
+
+    assert benchmark(run) == N
+
+
+def test_run_queue_batched_throughput(benchmark):
+    """Queue -> 5-selection chain drained via batched run_queue."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for selectivity in (0.998, 0.996, 0.994, 0.992, 0.990):
+        stream = stream.where_fraction(selectivity)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    queue_node = graph.insert_queue(graph.in_edges(first)[0])
+    queue_op = queue_node.payload
+    dispatcher = Dispatcher(graph)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        queue_op.push_many(elements)
+        return dispatcher.run_queue(queue_node, batch_size=BATCH)
 
     assert benchmark(run) == N
 

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Standalone micro-benchmark runner: scalar vs batched substrate paths.
+
+Times the scalar/batched kernel pairs from ``bench_micro.py`` without a
+pytest-benchmark dependency and writes a JSON report (default:
+``BENCH_micro.json`` at the repo root) recording elements/sec for each
+variant plus the batched-over-scalar speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_micro.py [--out PATH] [--n N]
+                                                  [--batch B] [--repeat R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.dataflow import Dispatcher  # noqa: E402
+from repro.graph.builder import QueryBuilder  # noqa: E402
+from repro.operators.queue_op import QueueOperator  # noqa: E402
+from repro.operators.selection import SimulatedSelection  # noqa: E402
+from repro.streams.elements import StreamElement  # noqa: E402
+from repro.streams.sinks import CountingSink  # noqa: E402
+from repro.streams.sources import ListSource  # noqa: E402
+
+SELECTIVITIES = (0.998, 0.996, 0.994, 0.992, 0.990)
+
+
+def _build_chain():
+    """5-selection DI chain; returns (dispatcher, first operator node)."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for selectivity in SELECTIVITIES:
+        stream = stream.where_fraction(selectivity)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    return Dispatcher(graph), graph, first
+
+
+def bench_selection_scalar(n: int, batch: int) -> int:
+    op = SimulatedSelection(0.5)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    total = 0
+    for element in elements:
+        total += len(op.process(element))
+    return total
+
+
+def bench_selection_batched(n: int, batch: int) -> int:
+    op = SimulatedSelection(0.5)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    total = 0
+    for start in range(0, n, batch):
+        total += len(op.process_batch(elements[start : start + batch]))
+    return total
+
+
+def bench_di_dispatch_scalar(n: int, batch: int) -> int:
+    dispatcher, _, first = _build_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    for element in elements:
+        dispatcher.inject(first, element)
+    return dispatcher.sink_deliveries
+
+
+def bench_di_dispatch_batched(n: int, batch: int) -> int:
+    dispatcher, _, first = _build_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    for start in range(0, n, batch):
+        dispatcher.inject_batch(first, elements[start : start + batch])
+    return dispatcher.sink_deliveries
+
+
+def bench_queue_roundtrip_scalar(n: int, batch: int) -> int:
+    queue = QueueOperator()
+    elements = [StreamElement(value=i) for i in range(n)]
+    for element in elements:
+        queue.push(element)
+    drained = 0
+    while queue.try_pop() is not None:
+        drained += 1
+    return drained
+
+
+def bench_queue_roundtrip_batched(n: int, batch: int) -> int:
+    queue = QueueOperator()
+    elements = [StreamElement(value=i) for i in range(n)]
+    for start in range(0, n, batch):
+        queue.push_many(elements[start : start + batch])
+    drained = 0
+    while True:
+        popped = queue.pop_many(batch)
+        if not popped:
+            return drained
+        drained += len(popped)
+
+
+def bench_run_queue_scalar(n: int, batch: int) -> int:
+    dispatcher, graph, first = _build_chain()
+    queue_node = graph.insert_queue(graph.in_edges(first)[0])
+    queue_op = queue_node.payload
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    queue_op.push_many(elements)
+    return dispatcher.run_queue(queue_node)
+
+
+def bench_run_queue_batched(n: int, batch: int) -> int:
+    dispatcher, graph, first = _build_chain()
+    queue_node = graph.insert_queue(graph.in_edges(first)[0])
+    queue_op = queue_node.payload
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    queue_op.push_many(elements)
+    return dispatcher.run_queue(queue_node, batch_size=batch)
+
+
+PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
+    "selection_kernel": {
+        "scalar": bench_selection_scalar,
+        "batched": bench_selection_batched,
+    },
+    "di_dispatch": {
+        "scalar": bench_di_dispatch_scalar,
+        "batched": bench_di_dispatch_batched,
+    },
+    "queue_roundtrip": {
+        "scalar": bench_queue_roundtrip_scalar,
+        "batched": bench_queue_roundtrip_batched,
+    },
+    "run_queue": {
+        "scalar": bench_run_queue_scalar,
+        "batched": bench_run_queue_batched,
+    },
+}
+
+
+def _time_best(fn: Callable[[int, int], int], n: int, batch: int, repeat: int):
+    """Best-of-``repeat`` wall time; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(n, batch)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run(n: int, batch: int, repeat: int) -> dict:
+    benchmarks = {}
+    for name, variants in PAIRS.items():
+        entry = {}
+        for variant, fn in variants.items():
+            # Warm-up pass so one-time costs (imports, first-call plan
+            # compilation) don't land in the measured run.
+            fn(n, batch)
+            seconds, result = _time_best(fn, n, batch, repeat)
+            entry[variant] = {
+                "seconds": seconds,
+                "elements_per_sec": n / seconds if seconds > 0 else None,
+                "result": result,
+            }
+        scalar_s = entry["scalar"]["seconds"]
+        batched_s = entry["batched"]["seconds"]
+        entry["speedup"] = scalar_s / batched_s if batched_s > 0 else None
+        benchmarks[name] = entry
+    return {
+        "config": {"n": n, "batch_size": batch, "repeat": repeat},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_micro.json",
+        help="output JSON path (default: BENCH_micro.json at the repo root)",
+    )
+    parser.add_argument("--n", type=int, default=50_000, help="elements per run")
+    parser.add_argument("--batch", type=int, default=64, help="batch size")
+    parser.add_argument(
+        "--repeat", type=int, default=5, help="repetitions (best-of wall time)"
+    )
+    args = parser.parse_args(argv)
+    if args.n < 1:
+        parser.error("--n must be >= 1")
+    if args.batch < 1:
+        parser.error("--batch must be >= 1")
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    report = run(args.n, args.batch, args.repeat)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"n={args.n} batch={args.batch} repeat={args.repeat}")
+    for name, entry in report["benchmarks"].items():
+        print(
+            f"  {name:20s} scalar {entry['scalar']['elements_per_sec']:>12,.0f} el/s"
+            f"  batched {entry['batched']['elements_per_sec']:>12,.0f} el/s"
+            f"  speedup {entry['speedup']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

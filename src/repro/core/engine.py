@@ -207,6 +207,10 @@ class ThreadedEngine:
                     if all(not t.is_alive() for t in self._threads):
                         self._finished.set()
                         return True
+                # A reconfigure raced us and started fresh threads while
+                # the set looked dead; back off briefly instead of
+                # busy-spinning on the recheck.
+                time.sleep(_POLL_SECONDS)
                 continue
             if deadline is not None and time.monotonic() >= deadline:
                 return False
@@ -361,7 +365,9 @@ class ThreadedEngine:
         assert isinstance(source, Source)
         pace = self.config.pace_sources
         scale = self.config.time_scale
+        batch_size = self.config.batch_size or 1
         started = time.monotonic()
+        batch: List = []
         for element in source:
             if self._abort.is_set():
                 return
@@ -370,12 +376,36 @@ class ThreadedEngine:
                 delay = target - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-            with self._work_gate():
-                for edge in self.graph.out_edges(node):
-                    self.dispatcher.inject(edge.consumer, element, edge.port)
+            if batch_size <= 1:
+                with self._work_gate():
+                    for edge in self.graph.out_edges(node):
+                        self.dispatcher.inject(edge.consumer, element, edge.port)
+                continue
+            # Micro-batching: buffer while pacing per element, inject the
+            # whole batch in one gated chain reaction once it fills (so a
+            # paced batch goes out at its last element's release time).
+            batch.append(element)
+            if len(batch) >= batch_size:
+                self._inject_source_batch(node, batch)
+                batch = []
+        if batch:
+            self._inject_source_batch(node, batch)
         with self._work_gate():
             for edge in self.graph.out_edges(node):
                 self.dispatcher.inject_end(edge.consumer, edge.port)
+
+    def _inject_source_batch(self, node: Node, batch: List) -> None:
+        with self._work_gate():
+            edges = self.graph.out_edges(node)
+            if len(edges) == 1:
+                edge = edges[0]
+                self.dispatcher.inject_batch(edge.consumer, batch, edge.port)
+            else:
+                # Multiple consumers: keep the scalar per-element edge
+                # interleaving (see Dispatcher.inject_batch).
+                for element in batch:
+                    for edge in edges:
+                        self.dispatcher.inject(edge.consumer, element, edge.port)
 
     def _partition_worker(self, spec: PartitionSpec, generation: int) -> None:
         try:
@@ -422,20 +452,26 @@ class ThreadedEngine:
                     wake.clear()
                     continue
                 queue_node = spec.strategy.select(ready)
+                # One work-gate bracket and (when bounded) one thread-
+                # scheduler permit covers the whole batch grant.
                 if ts is not None:
                     if not ts.acquire(unit_id, timeout=_POLL_SECONDS * 5):
                         continue
                     try:
                         with self._work_gate():
                             self.dispatcher.run_queue(
-                                queue_node, self.config.batch_limit
+                                queue_node,
+                                self.config.batch_limit,
+                                self.config.batch_size,
                             )
                     finally:
                         ts.release(unit_id)
                 else:
                     with self._work_gate():
                         self.dispatcher.run_queue(
-                            queue_node, self.config.batch_limit
+                            queue_node,
+                            self.config.batch_limit,
+                            self.config.batch_size,
                         )
         finally:
             for op in queue_ops():

@@ -93,6 +93,14 @@ class EngineConfig:
         aging_ns: Level-3 starvation-prevention aging constant.
         batch_limit: Max data elements a unit processes per grant
             (None = drain the selected queue completely).
+        batch_size: Micro-batch granularity of the hot path.  Sources
+            inject this many elements per DI chain reaction, and queue
+            workers transfer/dispatch this many items per lock
+            acquisition (bulk ``pop_many`` + ``process_batch``).  None
+            or 1 preserves the classic element-at-a-time behavior
+            exactly; larger values amortize dispatch overhead while
+            keeping per-port order and END_OF_STREAM placement
+            identical.
         pace_sources: When True, source threads respect their elements'
             timestamps in (scaled) real time; when False they replay at
             full speed.
@@ -105,10 +113,15 @@ class EngineConfig:
     max_concurrency: Optional[int] = None
     aging_ns: float = 50_000_000.0
     batch_limit: Optional[int] = None
+    batch_size: Optional[int] = None
     pace_sources: bool = False
     time_scale: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise SchedulingError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
         names = [partition.name for partition in self.partitions]
         if len(names) != len(set(names)):
             raise SchedulingError(f"duplicate partition names in {names}")

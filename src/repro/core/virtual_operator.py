@@ -142,6 +142,12 @@ class _CapturingGraphView:
         self.captured: List[Tuple[Edge, StreamElement]] = []
         self._capture_sinks: Dict[Edge, Node] = {}
 
+    @property
+    def generation(self) -> int:
+        # Dispatch plans are keyed on this; the view is created fresh
+        # per process() call, so delegating to the real graph suffices.
+        return self._graph.generation
+
     def out_edges(self, node: Node) -> list[Edge]:
         edges = []
         for edge in self._graph.out_edges(node):

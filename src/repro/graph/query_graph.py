@@ -60,6 +60,16 @@ class QueryGraph:
         self._nodes: list[Node] = []
         self._out: Dict[Node, List[Edge]] = {}
         self._in: Dict[Node, Dict[int, Edge]] = {}
+        # Structure generation: bumped on every edge change (which covers
+        # insert_queue/remove_queue/remove_node).  Dispatchers key their
+        # compiled dispatch plans on it, so per-element edge resolution
+        # is replaced by a cache that invalidates itself on splices.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of structural (edge) changes."""
+        return self._generation
 
     # ------------------------------------------------------------------
     # Construction
@@ -117,6 +127,7 @@ class QueryGraph:
         edge = Edge(producer, consumer, port)
         self._out[producer].append(edge)
         self._in[consumer][port] = edge
+        self._generation += 1
         return edge
 
     def disconnect(self, edge: Edge) -> None:
@@ -126,6 +137,7 @@ class QueryGraph:
         except (KeyError, ValueError):
             raise UnknownNodeError(f"edge {edge!r} not in graph") from None
         del self._in[edge.consumer][edge.port]
+        self._generation += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all its edges."""

@@ -19,7 +19,7 @@ aggregate emits its final window) and is closed.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
 from repro.errors import OperatorError
 from repro.streams.elements import StreamElement
@@ -67,6 +67,22 @@ class Operator:
         port that has already ended.
         """
         raise NotImplementedError
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        """Process a batch of elements arriving in order on ``port``.
+
+        Semantically equivalent to calling :meth:`process` on every
+        element and concatenating the results — subclasses may override
+        with a faster kernel, but the outputs (values, order) must be
+        identical to the element-wise path.  Engines use this to
+        amortize dispatch overhead across whole batches.
+        """
+        outputs: List[StreamElement] = []
+        for element in elements:
+            outputs.extend(self.process(element, port))
+        return outputs
 
     def flush(self) -> List[StreamElement]:
         """Emit any pending state when the last input ends.
@@ -150,3 +166,16 @@ class StatelessOperator(Operator):
     def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
         self._guard(port)
         return list(self.apply(element))
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        # One guard per batch: closed/ended state cannot change mid-batch
+        # because engines never interleave process and end_port calls.
+        self._guard(port)
+        apply = self.apply
+        outputs: List[StreamElement] = []
+        extend = outputs.extend
+        for element in elements:
+            extend(apply(element))
+        return outputs

@@ -11,7 +11,7 @@ situation the runtime statistics of Section 5.1.3 exist for.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List
+from typing import Any, Callable, Deque, Dict, List, Sequence
 
 from repro.operators.base import Operator
 from repro.streams.elements import StreamElement
@@ -69,6 +69,34 @@ class WindowedDistinct(Operator):
             return []
         self.forwarded += 1
         return [element]
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        # Inlined per-element body with one guard and local bindings;
+        # identical output to element-wise process().
+        self._guard(port)
+        window_ns = self.window_ns
+        key_fn = self._key_fn
+        last_seen = self._last_seen
+        expiry = self._expiry
+        suppressed = 0
+        outputs: List[StreamElement] = []
+        append = outputs.append
+        for element in elements:
+            now = element.timestamp
+            self._expire(now)
+            key = key_fn(element.value)
+            last = last_seen.get(key)
+            last_seen[key] = now
+            expiry.append((now, key))
+            if last is not None and now - last < window_ns:
+                suppressed += 1
+            else:
+                append(element)
+        self.suppressed += suppressed
+        self.forwarded += len(outputs)
+        return outputs
 
     def _expire(self, now_ns: int) -> None:
         cutoff = now_ns - self.window_ns

@@ -9,7 +9,7 @@ operators with selectivity 1 (projection/map) or user-determined
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, List, Mapping, Sequence
 
 from repro.operators.base import StatelessOperator
 from repro.streams.elements import StreamElement
@@ -35,6 +35,13 @@ class MapOperator(StatelessOperator):
 
     def apply(self, element: StreamElement) -> Iterable[StreamElement]:
         yield element.with_value(self._fn(element.value))
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        self._guard(port)
+        fn = self._fn
+        return [element.with_value(fn(element.value)) for element in elements]
 
 
 class Projection(MapOperator):

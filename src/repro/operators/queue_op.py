@@ -13,13 +13,19 @@ a scheduler later pops elements and feeds them to the successor.
 The implementation is thread-safe (the real-thread engine has producer
 and consumer threads on either side) and tracks the peak population,
 which is the "queue memory usage" series plotted in Fig. 9.
+
+Bulk transfer (paper Section 5: batch-wise queue processing): the
+:meth:`push_many` / :meth:`pop_many` pair moves whole batches under a
+single lock acquisition, which is what makes the engine's
+``batch_size`` knob pay off — per-element synchronization is the
+dominant queue cost, not the deque operations.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterable, List, Optional, Sequence
 
 from repro.operators.base import Operator
 from repro.streams.elements import END_OF_STREAM, Punctuation, StreamElement
@@ -43,6 +49,10 @@ class QueueOperator(Operator):
             declared_selectivity=1.0,
         )
         self._items: Deque[StreamElement | Punctuation] = deque()
+        # Sequence numbers of the buffered *data* elements, in FIFO
+        # order, maintained on every push/pop so oldest_seq() is O(1)
+        # instead of an O(n) scan under the lock.
+        self._data_seqs: Deque[int] = deque()
         self._condition = threading.Condition()
         self.peak_size = 0
         self.total_enqueued = 0
@@ -58,6 +68,13 @@ class QueueOperator(Operator):
         self.push(element)
         return []
 
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        self._guard(port)
+        self.push_many(elements)
+        return []
+
     def end_port(self, port: int = 0) -> List[StreamElement]:
         # The end marker travels through the buffer, after buffered data.
         outputs = super().end_port(port)
@@ -71,6 +88,8 @@ class QueueOperator(Operator):
         """Enqueue a data element or punctuation and wake one consumer."""
         with self._condition:
             self._items.append(item)
+            if isinstance(item, StreamElement):
+                self._data_seqs.append(item.seq)
             self.total_enqueued += 1
             if len(self._items) > self.peak_size:
                 self.peak_size = len(self._items)
@@ -79,29 +98,80 @@ class QueueOperator(Operator):
         if listener is not None:
             listener()
 
+    def push_many(self, items: Iterable[StreamElement | Punctuation]) -> int:
+        """Enqueue a batch under one lock acquisition; returns its size.
+
+        Equivalent to pushing the items one by one (same FIFO order,
+        same counters) but with a single synchronization round and a
+        single listener wake-up.
+        """
+        batch = list(items)
+        if not batch:
+            return 0
+        with self._condition:
+            self._items.extend(batch)
+            append_seq = self._data_seqs.append
+            for item in batch:
+                if isinstance(item, StreamElement):
+                    append_seq(item.seq)
+            self.total_enqueued += len(batch)
+            if len(self._items) > self.peak_size:
+                self.peak_size = len(self._items)
+            self._condition.notify()
+        listener = self.push_listener
+        if listener is not None:
+            listener()
+        return len(batch)
+
     def try_pop(self) -> Optional[StreamElement | Punctuation]:
         """Dequeue the oldest item, or None if the queue is empty."""
         with self._condition:
             if not self._items:
                 return None
-            return self._items.popleft()
+            item = self._items.popleft()
+            if isinstance(item, StreamElement):
+                self._data_seqs.popleft()
+            return item
 
     def pop(self, timeout: float | None = None) -> Optional[StreamElement | Punctuation]:
         """Blocking dequeue; returns None only on timeout."""
         with self._condition:
             if not self._condition.wait_for(lambda: bool(self._items), timeout):
                 return None
-            return self._items.popleft()
+            item = self._items.popleft()
+            if isinstance(item, StreamElement):
+                self._data_seqs.popleft()
+            return item
+
+    def pop_many(
+        self, limit: int | None = None
+    ) -> list[StreamElement | Punctuation]:
+        """Dequeue up to ``limit`` items (all if None) without blocking.
+
+        One lock acquisition for the whole batch; items come out in
+        FIFO order, punctuations interleaved exactly where they were
+        enqueued.
+        """
+        with self._condition:
+            size = len(self._items)
+            if size == 0:
+                return []
+            if limit is None or limit >= size:
+                items = list(self._items)
+                self._items.clear()
+                self._data_seqs.clear()
+                return items
+            popleft = self._items.popleft
+            items = [popleft() for _ in range(limit)]
+            pop_seq = self._data_seqs.popleft
+            for item in items:
+                if isinstance(item, StreamElement):
+                    pop_seq()
+            return items
 
     def drain(self, limit: int | None = None) -> list[StreamElement | Punctuation]:
         """Dequeue up to ``limit`` items (all if None) without blocking."""
-        with self._condition:
-            if limit is None or limit >= len(self._items):
-                items = list(self._items)
-                self._items.clear()
-            else:
-                items = [self._items.popleft() for _ in range(limit)]
-            return items
+        return self.pop_many(limit)
 
     def __len__(self) -> int:
         with self._condition:
@@ -120,17 +190,18 @@ class QueueOperator(Operator):
 
         Used by the FIFO strategy to find the globally oldest element
         across queues.  Punctuations at the head are skipped; returns
-        None if no data element is buffered.
+        None if no data element is buffered.  O(1): the data-seq FIFO
+        is maintained on push/pop.
         """
         with self._condition:
-            for item in self._items:
-                if isinstance(item, StreamElement):
-                    return item.seq
+            if self._data_seqs:
+                return self._data_seqs[0]
             return None
 
     def reset(self) -> None:
         super().reset()
         with self._condition:
             self._items.clear()
+            self._data_seqs.clear()
             self.peak_size = 0
             self.total_enqueued = 0

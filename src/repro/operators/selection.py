@@ -13,7 +13,7 @@ Two variants:
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, List, Sequence
 
 from repro.operators.base import StatelessOperator
 from repro.streams.elements import StreamElement
@@ -41,6 +41,13 @@ class Selection(StatelessOperator):
     def apply(self, element: StreamElement) -> Iterable[StreamElement]:
         if self._predicate(element.value):
             yield element
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        self._guard(port)
+        predicate = self._predicate
+        return [element for element in elements if predicate(element.value)]
 
 
 class SimulatedSelection(StatelessOperator):
@@ -76,6 +83,25 @@ class SimulatedSelection(StatelessOperator):
         self._seen += 1
         if math.floor((n + 1) * self.selectivity) > math.floor(n * self.selectivity):
             yield element
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        self._guard(port)
+        s = self.selectivity
+        n = self._seen
+        floor = math.floor
+        outputs: List[StreamElement] = []
+        append = outputs.append
+        acc = floor(n * s)
+        for element in elements:
+            n += 1
+            nxt = floor(n * s)
+            if nxt > acc:
+                append(element)
+            acc = nxt
+        self._seen = n
+        return outputs
 
     def reset(self) -> None:
         super().reset()

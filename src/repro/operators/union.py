@@ -9,7 +9,7 @@ queues and schedule them with a timestamp-aware strategy.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.operators.base import Operator
 from repro.streams.elements import StreamElement
@@ -38,3 +38,9 @@ class Union(Operator):
     def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
         self._guard(port)
         return [element]
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        self._guard(port)
+        return list(elements)

@@ -1,0 +1,33 @@
+"""Smoke test for the standalone micro-benchmark runner."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_run_micro():
+    spec = importlib.util.spec_from_file_location(
+        "run_micro", REPO_ROOT / "benchmarks" / "run_micro.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_micro_writes_report(tmp_path):
+    run_micro = _load_run_micro()
+    out = tmp_path / "BENCH_micro.json"
+    rc = run_micro.main(["--out", str(out), "--n", "500", "--batch", "16", "--repeat", "1"])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["config"] == {"n": 500, "batch_size": 16, "repeat": 1}
+    for name in ("selection_kernel", "di_dispatch", "queue_roundtrip", "run_queue"):
+        entry = report["benchmarks"][name]
+        assert entry["scalar"]["elements_per_sec"] > 0
+        assert entry["batched"]["elements_per_sec"] > 0
+        assert entry["speedup"] > 0
+    # Scalar and batched variants must agree on what they computed.
+    for entry in report["benchmarks"].values():
+        assert entry["scalar"]["result"] == entry["batched"]["result"]
