@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.dataflow import Dispatcher
 from repro.graph.builder import QueryBuilder
+from repro.operators.aggregate import WindowedAggregate
 from repro.operators.joins import SymmetricHashJoin, SymmetricNestedLoopsJoin
 from repro.operators.queue_op import QueueOperator
 from repro.operators.selection import SimulatedSelection
@@ -67,6 +68,51 @@ def test_hash_join_kernel_throughput(benchmark):
     assert benchmark(run) > 0
 
 
+def test_hash_join_kernel_batch_throughput(benchmark):
+    """Batched counterpart of test_hash_join_kernel_throughput.
+
+    Feeds the same arrival sequence as per-port runs of length BATCH —
+    what the engine's per-port batch dispatch produces.
+    """
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(N)]
+
+    def run():
+        join = SymmetricHashJoin(window_ns=1_000)
+        total = 0
+        for start in range(0, N, BATCH):
+            port = (start // BATCH) % 2
+            total += len(
+                join.process_batch(elements[start : start + BATCH], port)
+            )
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_hash_join_expiry_skewed_keys(benchmark):
+    """Regression guard for O(bucket) expiry.
+
+    Only 4 distinct keys and a window covering half the stream: every
+    hash bucket holds hundreds of elements, so victim removal must be
+    a deque popleft, not a list scan (`bucket.remove(victim)` made this
+    quadratic in bucket size).  Disjoint probe keys keep the output
+    empty so expiry dominates the measurement.
+    """
+    elements = [StreamElement(value=i % 4, timestamp=i) for i in range(N)]
+
+    def run():
+        join = SymmetricHashJoin(
+            window_ns=N // 2,
+            key_fns=(lambda v: v, lambda v: -v - 1),
+        )
+        total = 0
+        for index, element in enumerate(elements):
+            total += len(join.process(element, index % 2))
+        return total
+
+    assert benchmark(run) == 0
+
+
 def test_nested_loops_join_kernel_throughput(benchmark):
     elements = [
         StreamElement(value=(i // 2) % 100, timestamp=i) for i in range(2_000)
@@ -78,6 +124,73 @@ def test_nested_loops_join_kernel_throughput(benchmark):
         for index, element in enumerate(elements):
             total += len(join.process(element, index % 2))
         return total
+
+    assert benchmark(run) > 0
+
+
+def test_windowed_aggregate_throughput(benchmark):
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(N)]
+
+    def run():
+        op = WindowedAggregate(window_ns=1_000, aggregate="sum")
+        total = 0
+        for element in elements:
+            total += len(op.process(element))
+        return total
+
+    assert benchmark(run) == N
+
+
+def test_windowed_aggregate_batch_throughput(benchmark):
+    """Batched counterpart of test_windowed_aggregate_throughput."""
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(N)]
+
+    def run():
+        op = WindowedAggregate(window_ns=1_000, aggregate="sum")
+        total = 0
+        for start in range(0, N, BATCH):
+            total += len(op.process_batch(elements[start : start + BATCH]))
+        return total
+
+    assert benchmark(run) == N
+
+
+def _fused_vo_chain():
+    """An 8-stage straight-line VO: maps interleaved with filters."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for stage in range(4):
+        stream = stream.map(lambda v, _s=stage: v + _s)
+        stream = stream.where_fraction(0.99 - stage * 0.01)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    return Dispatcher(graph), first
+
+
+def test_fused_vo_chain_throughput(benchmark):
+    """Element-wise DI through an 8-stage straight-line VO."""
+    dispatcher, first = _fused_vo_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        for element in elements:
+            dispatcher.inject(first, element)
+        return dispatcher.sink_deliveries
+
+    assert benchmark(run) > 0
+
+
+def test_fused_vo_chain_batched_throughput(benchmark):
+    """Fused counterpart: one call per stage per batch (batch=64)."""
+    dispatcher, first = _fused_vo_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(N)]
+
+    def run():
+        for start in range(0, N, BATCH):
+            dispatcher.inject_batch(first, elements[start : start + BATCH])
+        return dispatcher.sink_deliveries
 
     assert benchmark(run) > 0
 

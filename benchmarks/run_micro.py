@@ -26,6 +26,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.dataflow import Dispatcher  # noqa: E402
 from repro.graph.builder import QueryBuilder  # noqa: E402
+from repro.operators.aggregate import WindowedAggregate  # noqa: E402
+from repro.operators.joins import SymmetricHashJoin  # noqa: E402
 from repro.operators.queue_op import QueueOperator  # noqa: E402
 from repro.operators.selection import SimulatedSelection  # noqa: E402
 from repro.streams.elements import StreamElement  # noqa: E402
@@ -124,6 +126,75 @@ def bench_run_queue_batched(n: int, batch: int) -> int:
     return dispatcher.run_queue(queue_node, batch_size=batch)
 
 
+def bench_shj_probe_scalar(n: int, batch: int) -> list:
+    join = SymmetricHashJoin(window_ns=1_000)
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(n)]
+    total = 0
+    for index, element in enumerate(elements):
+        total += len(join.process(element, (index // batch) % 2))
+    return [total, join.total_probe_work]
+
+
+def bench_shj_probe_batched(n: int, batch: int) -> list:
+    join = SymmetricHashJoin(window_ns=1_000)
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(n)]
+    total = 0
+    for start in range(0, n, batch):
+        port = (start // batch) % 2
+        total += len(join.process_batch(elements[start : start + batch], port))
+    return [total, join.total_probe_work]
+
+
+def bench_windowed_aggregate_scalar(n: int, batch: int) -> float:
+    op = WindowedAggregate(window_ns=1_000, aggregate="sum")
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(n)]
+    checksum = 0
+    for element in elements:
+        for out in op.process(element):
+            checksum += out.value
+    return checksum
+
+
+def bench_windowed_aggregate_batched(n: int, batch: int) -> float:
+    op = WindowedAggregate(window_ns=1_000, aggregate="sum")
+    elements = [StreamElement(value=i % 100, timestamp=i) for i in range(n)]
+    checksum = 0
+    for start in range(0, n, batch):
+        for out in op.process_batch(elements[start : start + batch]):
+            checksum += out.value
+    return checksum
+
+
+def _build_fused_chain():
+    """8-stage straight-line VO: maps interleaved with filters."""
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for stage in range(4):
+        stream = stream.map(lambda v, _s=stage: v + _s)
+        stream = stream.where_fraction(0.99 - stage * 0.01)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    return Dispatcher(graph), first
+
+
+def bench_fused_vo_chain_scalar(n: int, batch: int) -> int:
+    dispatcher, first = _build_fused_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    for element in elements:
+        dispatcher.inject(first, element)
+    return dispatcher.sink_deliveries
+
+
+def bench_fused_vo_chain_batched(n: int, batch: int) -> int:
+    dispatcher, first = _build_fused_chain()
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    for start in range(0, n, batch):
+        dispatcher.inject_batch(first, elements[start : start + batch])
+    return dispatcher.sink_deliveries
+
+
 PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
     "selection_kernel": {
         "scalar": bench_selection_scalar,
@@ -140,6 +211,18 @@ PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
     "run_queue": {
         "scalar": bench_run_queue_scalar,
         "batched": bench_run_queue_batched,
+    },
+    "shj_probe": {
+        "scalar": bench_shj_probe_scalar,
+        "batched": bench_shj_probe_batched,
+    },
+    "windowed_aggregate": {
+        "scalar": bench_windowed_aggregate_scalar,
+        "batched": bench_windowed_aggregate_batched,
+    },
+    "fused_vo_chain": {
+        "scalar": bench_fused_vo_chain_scalar,
+        "batched": bench_fused_vo_chain_batched,
     },
 }
 
@@ -174,6 +257,9 @@ def run(n: int, batch: int, repeat: int) -> dict:
         scalar_s = entry["scalar"]["seconds"]
         batched_s = entry["batched"]["seconds"]
         entry["speedup"] = scalar_s / batched_s if batched_s > 0 else None
+        # The batched path is only a valid optimisation if it computes
+        # the same answer; a mismatch fails the run (and CI).
+        entry["results_match"] = entry["scalar"]["result"] == entry["batched"]["result"]
         benchmarks[name] = entry
     return {
         "config": {"n": n, "batch_size": batch, "repeat": repeat},
@@ -194,7 +280,15 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=5, help="repetitions (best-of wall time)"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run (n=4000, repeat=2) for CI correctness checking",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 4_000)
+        args.repeat = min(args.repeat, 2)
     if args.n < 1:
         parser.error("--n must be >= 1")
     if args.batch < 1:
@@ -206,13 +300,23 @@ def main(argv: List[str] | None = None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"n={args.n} batch={args.batch} repeat={args.repeat}")
+    mismatched = []
     for name, entry in report["benchmarks"].items():
         print(
             f"  {name:20s} scalar {entry['scalar']['elements_per_sec']:>12,.0f} el/s"
             f"  batched {entry['batched']['elements_per_sec']:>12,.0f} el/s"
             f"  speedup {entry['speedup']:.2f}x"
         )
+        if not entry["results_match"]:
+            mismatched.append(name)
+            print(
+                f"    MISMATCH: scalar={entry['scalar']['result']!r}"
+                f" batched={entry['batched']['result']!r}"
+            )
     print(f"wrote {args.out}")
+    if mismatched:
+        print(f"FAILED: batched/scalar result mismatch in {', '.join(mismatched)}")
+        return 1
     return 0
 
 

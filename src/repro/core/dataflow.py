@@ -39,6 +39,17 @@ Two per-element overheads are amortized away on the hot path:
   batch degrades to the element-wise interleaving so graphs that
   re-converge (e.g. a join fed from both sides of a split) observe
   exactly the scalar arrival order.
+* **Fused virtual-operator segments** — a straight-line run of
+  operators (each stage has exactly one out-edge leading to another
+  non-queue operator) is a segment of a virtual operator (paper
+  Section 3: queue-free subgraphs "automatically build a VO").  The
+  compiled plan stores the whole segment as a tuple of stages, so a
+  batch traverses it with one operator call per stage — no stack
+  traffic, no per-stage plan lookups — which is what makes a VO
+  actually cost like *one* operator on the hot path.  Fused segments
+  are part of the generation-keyed plan: splicing a queue into (or out
+  of) a segment bumps ``QueryGraph.generation`` and recompiles, so
+  Level 2/3 runtime re-partitioning stays correct.
 """
 
 from __future__ import annotations
@@ -71,9 +82,12 @@ _KIND_SINK = 2
 #: Fallback pop granularity for run_queue when no batch size is given.
 _DEFAULT_POP_CHUNK = 64
 
-# A plan entry: (kind, payload, out, out_reversed) where out is a tuple
-# of (consumer, port) pairs in edge-declaration order.
-_PlanEntry = Tuple[int, object, tuple, tuple]
+# A plan entry: (kind, payload, out, out_reversed, fused) where out is a
+# tuple of (consumer, port) pairs in edge-declaration order and fused is
+# None or the compiled straight-line segment hanging off this node:
+# ((stage_node, stage_port), ...) plus the out/out_reversed of the
+# segment's last stage.
+_PlanEntry = Tuple[int, object, tuple, tuple, Optional[tuple]]
 
 
 class Dispatcher:
@@ -141,12 +155,62 @@ class Dispatcher:
         if node.is_sink:
             # Terminal: no out-edge resolution (capture sinks used by VO
             # views are not even part of the graph).
-            return (_KIND_SINK, node.payload, (), ())
+            return (_KIND_SINK, node.payload, (), (), None)
         kind = _KIND_QUEUE if node.is_queue else _KIND_OPERATOR
         out = tuple(
             (edge.consumer, edge.port) for edge in self.graph.out_edges(node)
         )
-        return (kind, node.payload, out, tuple(reversed(out)))
+        fused = None
+        if kind == _KIND_OPERATOR and not node.is_source:
+            fused = self._compile_fused_tail(out)
+        return (kind, node.payload, out, tuple(reversed(out)), fused)
+
+    def _compile_fused_tail(self, out: tuple) -> Optional[tuple]:
+        """Compile the straight-line VO segment hanging off a node.
+
+        Starting from the node's fan-out ``out``, follow single-out
+        edges through non-queue operator nodes; each becomes one fused
+        stage ``(node, port)``.  The walk stops at queues (decoupling
+        ends the VO), sinks, and fan-out points (several out-edges need
+        the element-wise interleaving).  Returns None when nothing can
+        be fused, else ``(stages, last_out, last_out_reversed)`` where
+        ``last_out`` is the fan-out of the segment's final stage.
+        """
+        stages: List[Tuple[Node, int]] = []
+        current_out = out
+        while len(current_out) == 1:
+            consumer, port = current_out[0]
+            if not consumer.is_operator or consumer.is_queue:
+                break
+            stages.append((consumer, port))
+            current_out = tuple(
+                (edge.consumer, edge.port)
+                for edge in self.graph.out_edges(consumer)
+            )
+        if not stages:
+            return None
+        return (tuple(stages), current_out, tuple(reversed(current_out)))
+
+    def fused_chain(self, node: Node) -> Tuple[Node, ...]:
+        """The nodes a batch entering ``node`` traverses without dispatch.
+
+        Introspection helper (tests, docs): ``node`` followed by the
+        stages of its compiled fused segment, if any.
+        """
+        entry = self._plan_for(node)
+        fused = entry[4]
+        if fused is None:
+            return (node,)
+        return (node,) + tuple(stage_node for stage_node, _ in fused[0])
+
+    def plan_out(self, node: Node) -> tuple:
+        """Compiled ``(consumer, port)`` fan-out of ``node``.
+
+        Generation-cached: engines use this instead of re-resolving
+        ``graph.out_edges`` on the per-batch hot path; queue splices
+        invalidate it automatically.
+        """
+        return self._plan_for(node)[2]
 
     # ------------------------------------------------------------------
     # Data path
@@ -163,7 +227,7 @@ class Dispatcher:
         stack: List[Tuple[Node, StreamElement, int]] = [(node, element, port)]
         while stack:
             current, item, in_port = stack.pop()
-            kind, payload, _, out_reversed = plan_for(current)
+            kind, payload, _, out_reversed, _ = plan_for(current)
             if kind == _KIND_SINK:
                 self._deliver_to_sink(current, payload, item)
                 continue
@@ -196,7 +260,7 @@ class Dispatcher:
         ]
         while stack:
             current, items, in_port = stack.pop()
-            kind, payload, out, out_reversed = plan_for(current)
+            kind, payload, out, out_reversed, fused = plan_for(current)
             if kind == _KIND_SINK:
                 self._deliver_batch_to_sink(current, payload, items)
                 continue
@@ -204,6 +268,17 @@ class Dispatcher:
                 payload.process_batch(items, in_port)
                 continue
             outputs = self._invoke_batch(current, items, in_port)
+            if fused is not None and outputs:
+                # Fused VO segment: the batch runs straight through the
+                # compiled stages — one operator call per stage, no stack
+                # traffic or plan lookups — then fans out from the last
+                # stage exactly as the unfused traversal would.
+                stages, out, out_reversed = fused
+                invoke_batch = self._invoke_batch
+                for stage_node, stage_port in stages:
+                    outputs = invoke_batch(stage_node, outputs, stage_port)
+                    if not outputs:
+                        break
             if not outputs:
                 continue
             if len(out) == 1:
@@ -281,7 +356,7 @@ class Dispatcher:
             return self._run_queue_batched(
                 queue_node, queue_op, max_items, batch_size
             )
-        _, _, out, _ = self._plan_for(queue_node)
+        _, _, out, _, _ = self._plan_for(queue_node)
         processed = 0
         remaining = max_items if max_items is not None else float("inf")
         while remaining > 0:
@@ -308,7 +383,7 @@ class Dispatcher:
         max_items: int | None,
         batch_size: int,
     ) -> int:
-        _, _, out, _ = self._plan_for(queue_node)
+        _, _, out, _, _ = self._plan_for(queue_node)
         single = out[0] if len(out) == 1 else None
         processed = 0
         remaining = max_items

@@ -378,8 +378,11 @@ class ThreadedEngine:
                     time.sleep(delay)
             if batch_size <= 1:
                 with self._work_gate():
-                    for edge in self.graph.out_edges(node):
-                        self.dispatcher.inject(edge.consumer, element, edge.port)
+                    # Compiled fan-out: plan_out is generation-cached, so
+                    # runtime queue splices (which happen under pause,
+                    # never mid-gate) are picked up automatically.
+                    for consumer, port in self.dispatcher.plan_out(node):
+                        self.dispatcher.inject(consumer, element, port)
                 continue
             # Micro-batching: buffer while pacing per element, inject the
             # whole batch in one gated chain reaction once it fills (so a
@@ -396,16 +399,16 @@ class ThreadedEngine:
 
     def _inject_source_batch(self, node: Node, batch: List) -> None:
         with self._work_gate():
-            edges = self.graph.out_edges(node)
-            if len(edges) == 1:
-                edge = edges[0]
-                self.dispatcher.inject_batch(edge.consumer, batch, edge.port)
+            out = self.dispatcher.plan_out(node)
+            if len(out) == 1:
+                consumer, port = out[0]
+                self.dispatcher.inject_batch(consumer, batch, port)
             else:
                 # Multiple consumers: keep the scalar per-element edge
                 # interleaving (see Dispatcher.inject_batch).
                 for element in batch:
-                    for edge in edges:
-                        self.dispatcher.inject(edge.consumer, element, edge.port)
+                    for consumer, port in out:
+                        self.dispatcher.inject(consumer, element, port)
 
     def _partition_worker(self, spec: PartitionSpec, generation: int) -> None:
         try:

@@ -17,6 +17,15 @@ highest *effective* priority.  Starvation prevention uses aging: a
 waiter's effective priority grows with its waiting time, so any unit
 eventually runs no matter how low its base priority.
 
+Wake-up discipline: permits are handed out as an explicit *grant set*.
+Whenever capacity frees up (a release) or the ranking can change (a
+priority update, a new waiter), the TS computes the top-``free``
+waiters **once** and notifies exactly those units on their own
+condition variables.  The earlier implementation broadcast
+``notify_all`` and had every woken waiter re-sort all waiters — an
+O(n log n) stampede under the lock per wake-up; now each wake-up event
+costs one sort and wakes only the units that actually get to run.
+
 (The discrete-event simulator implements the genuinely preemptive
 variant — see :mod:`repro.sim.machine` — because simulated time can be
 sliced exactly.)
@@ -37,7 +46,13 @@ __all__ = ["ThreadScheduler"]
 @dataclass
 class _UnitState:
     priority: float
+    #: Per-unit condition sharing the scheduler lock, so a grant wakes
+    #: exactly this unit's thread instead of every waiter.
+    condition: threading.Condition
     waiting_since_ns: Optional[int] = None
+    #: True when the TS has reserved a permit for this unit and it has
+    #: not claimed it yet (still counts against max_concurrency).
+    granted: bool = False
     running: bool = False
     grants: int = 0
     total_wait_ns: int = field(default=0)
@@ -66,9 +81,11 @@ class ThreadScheduler:
             raise SchedulingError("aging_ns must be positive")
         self._max_concurrency = max_concurrency
         self._aging_ns = aging_ns
-        self._condition = threading.Condition()
+        self._lock = threading.Lock()
         self._units: Dict[str, _UnitState] = {}
         self._running = 0
+        #: Permits reserved by _regrant but not yet claimed by acquire.
+        self._granted = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -76,14 +93,16 @@ class ThreadScheduler:
     # ------------------------------------------------------------------
     def register(self, unit_id: str, priority: float = 0.0) -> None:
         """Register a level-2 unit; higher ``priority`` runs first."""
-        with self._condition:
+        with self._lock:
             if unit_id in self._units:
                 raise SchedulingError(f"unit {unit_id!r} already registered")
-            self._units[unit_id] = _UnitState(priority=priority)
+            self._units[unit_id] = _UnitState(
+                priority=priority, condition=threading.Condition(self._lock)
+            )
 
     def unregister(self, unit_id: str) -> None:
         """Remove a unit (it must not be running or waiting)."""
-        with self._condition:
+        with self._lock:
             state = self._require(unit_id)
             if state.running or state.waiting_since_ns is not None:
                 raise SchedulingError(
@@ -92,14 +111,18 @@ class ThreadScheduler:
             del self._units[unit_id]
 
     def set_priority(self, unit_id: str, priority: float) -> None:
-        """Adapt a unit's base priority at runtime (Section 4.2.2)."""
-        with self._condition:
+        """Adapt a unit's base priority at runtime (Section 4.2.2).
+
+        Re-evaluates the grant set once: if free capacity exists, the
+        newly ranked top waiters are granted and woken individually.
+        """
+        with self._lock:
             self._require(unit_id).priority = priority
-            self._condition.notify_all()
+            self._regrant()
 
     def priority_of(self, unit_id: str) -> float:
         """The unit's current base priority."""
-        with self._condition:
+        with self._lock:
             return self._require(unit_id).priority
 
     # ------------------------------------------------------------------
@@ -112,19 +135,33 @@ class ThreadScheduler:
         permit was granted (pair with :meth:`release`).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._condition:
+        with self._lock:
             state = self._require(unit_id)
             if state.running:
                 raise SchedulingError(f"unit {unit_id!r} acquired twice")
+            if self._stopped:
+                return False
+            if self._max_concurrency is None:
+                # Unbounded: the gate only keeps accounting.
+                state.running = True
+                state.grants += 1
+                self._running += 1
+                return True
             state.waiting_since_ns = time.monotonic_ns()
-            self._condition.notify_all()
+            self._regrant()
             while True:
                 if self._stopped:
+                    if state.granted:
+                        state.granted = False
+                        self._granted -= 1
                     state.waiting_since_ns = None
                     return False
-                if self._may_run(unit_id):
-                    waited = time.monotonic_ns() - state.waiting_since_ns
-                    state.total_wait_ns += waited
+                if state.granted:
+                    state.granted = False
+                    self._granted -= 1
+                    state.total_wait_ns += (
+                        time.monotonic_ns() - state.waiting_since_ns
+                    )
                     state.waiting_since_ns = None
                     state.running = True
                     state.grants += 1
@@ -136,35 +173,40 @@ class ThreadScheduler:
                     if remaining <= 0:
                         state.waiting_since_ns = None
                         return False
-                self._condition.wait(remaining)
+                state.condition.wait(remaining)
 
     def release(self, unit_id: str) -> None:
-        """Return the permit acquired by :meth:`acquire`."""
-        with self._condition:
+        """Return the permit acquired by :meth:`acquire`.
+
+        Computes the grant set for the freed capacity once and wakes
+        only the granted units (no thundering herd).
+        """
+        with self._lock:
             state = self._require(unit_id)
             if not state.running:
                 raise SchedulingError(f"unit {unit_id!r} released without permit")
             state.running = False
             self._running -= 1
-            self._condition.notify_all()
+            self._regrant()
 
     def stop(self) -> None:
         """Wake every waiter with a denial; further acquires fail fast."""
-        with self._condition:
+        with self._lock:
             self._stopped = True
-            self._condition.notify_all()
+            for state in self._units.values():
+                state.condition.notify_all()
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def grants(self, unit_id: str) -> int:
         """How many times the unit has been granted a permit."""
-        with self._condition:
+        with self._lock:
             return self._require(unit_id).grants
 
     def total_wait_ns(self, unit_id: str) -> int:
         """Cumulative time the unit spent waiting at the gate."""
-        with self._condition:
+        with self._lock:
             return self._require(unit_id).total_wait_ns
 
     # ------------------------------------------------------------------
@@ -182,20 +224,29 @@ class ThreadScheduler:
         age = (now_ns - state.waiting_since_ns) / self._aging_ns
         return state.priority + age
 
-    def _may_run(self, unit_id: str) -> bool:
-        if self._max_concurrency is None:
-            return True
-        free = self._max_concurrency - self._running
+    def _regrant(self) -> None:
+        """Reserve permits for the top waiters and wake exactly those.
+
+        One O(n log n) ranking per scheduling *event* (release, priority
+        change, new waiter) instead of one per woken waiter; ungranted
+        waiters stay asleep on their own conditions.
+        """
+        if self._stopped or self._max_concurrency is None:
+            return
+        free = self._max_concurrency - self._running - self._granted
         if free <= 0:
-            return False
+            return
         now_ns = time.monotonic_ns()
-        waiters = sorted(
+        ranked = sorted(
             (
                 (self._effective_priority(state, now_ns), uid)
                 for uid, state in self._units.items()
-                if state.waiting_since_ns is not None
+                if state.waiting_since_ns is not None and not state.granted
             ),
             reverse=True,
         )
-        top = {uid for _, uid in waiters[:free]}
-        return unit_id in top
+        for _, uid in ranked[:free]:
+            state = self._units[uid]
+            state.granted = True
+            self._granted += 1
+            state.condition.notify()

@@ -17,6 +17,15 @@ structure; interactive use and tests use ``process``.
 :func:`build_virtual_operators` derives the VO views implied by a
 graph's current queue placement: the connected components of the graph
 after removing queue nodes.
+
+On the hot path, straight-line portions of a VO are not merely executed
+by DI — the dispatcher *fuses* them: its compiled dispatch plan stores
+each single-in/single-out run of members as one sequence of stages, so
+a micro-batch crosses the run with one operator call per stage instead
+of recursive per-element dispatch (see :mod:`repro.core.dataflow`).
+:meth:`VirtualOperator.straight_line_segments` reports exactly those
+runs, and :meth:`VirtualOperator.process_batch` is the batched
+counterpart of :meth:`VirtualOperator.process`.
 """
 
 from __future__ import annotations
@@ -123,6 +132,63 @@ class VirtualOperator:
         edge = self.entry_edges[entry]
         dispatcher.inject(edge.consumer, element, edge.port)
         return captured.captured
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], entry: int = 0
+    ) -> List[Tuple[Edge, StreamElement]]:
+        """Run a micro-batch through the VO via batched (fused) DI.
+
+        The batched counterpart of :meth:`process`: produces exactly the
+        exit crossings of processing the elements one by one, but the
+        dispatcher traverses the VO's straight-line segments as fused
+        stage chains — which is what makes a VO cost like one operator.
+        """
+        if not self.entry_edges:
+            raise VirtualOperatorError(f"VO {self.name!r} has no entry edges")
+        if not 0 <= entry < len(self.entry_edges):
+            raise VirtualOperatorError(
+                f"entry index {entry} out of range for arity {self.arity}"
+            )
+        captured = _CapturingGraphView(self.graph, self._member_set)
+        dispatcher = Dispatcher(captured)
+        edge = self.entry_edges[entry]
+        dispatcher.inject_batch(edge.consumer, list(elements), edge.port)
+        return captured.captured
+
+    def straight_line_segments(self) -> List[List[Node]]:
+        """The VO's maximal single-in/single-out member runs.
+
+        These are exactly the portions the dispatcher compiles into
+        fused stage chains: within a segment every node has one
+        out-edge, leading to the next member, and every interior node
+        has one in-edge.  Fan-in/fan-out members terminate segments
+        (batches degrade to the element-wise interleaving there).
+        """
+        graph = self.graph
+        members = self._member_set
+        follower: Dict[Node, Node | None] = {}
+        has_chaining_producer: set[Node] = set()
+        for node in self.members:
+            out = graph.out_edges(node)
+            nxt = out[0].consumer if len(out) == 1 else None
+            if (
+                nxt is not None
+                and nxt in members
+                and len(graph.in_edges(nxt)) == 1
+            ):
+                follower[node] = nxt
+                has_chaining_producer.add(nxt)
+            else:
+                follower[node] = None
+        segments: List[List[Node]] = []
+        for node in self.members:
+            if node in has_chaining_producer:
+                continue
+            segment = [node]
+            while follower[segment[-1]] is not None:
+                segment.append(follower[segment[-1]])
+            segments.append(segment)
+        return segments
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(node.name for node in self.members)

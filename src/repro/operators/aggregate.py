@@ -20,7 +20,7 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Sequence
 
 from repro.errors import OperatorError
 from repro.operators.base import Operator
@@ -101,6 +101,42 @@ class WindowedAggregate(Operator):
         payload = result if self._key_fn is None else (group, result)
         return [element.with_value(payload)]
 
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        """Batched kernel: one guard and hoisted lookups per batch.
+
+        The per-element window scan is the aggregate's semantics (every
+        arrival emits the aggregate over the current window), so only
+        the dispatch overhead is amortized; outputs are bit-identical.
+        """
+        if not elements:
+            return []
+        self._guard(port)
+        window = self.window
+        insert = window.insert
+        aggregate_fn = self._aggregate_fn
+        key_fn = self._key_fn
+        value_fn = self._value_fn
+        outputs: List[StreamElement] = []
+        append = outputs.append
+        if key_fn is None:
+            for element in elements:
+                insert(element)
+                values = [value_fn(member.value) for member in window]
+                append(element.with_value(aggregate_fn(values)))
+        else:
+            for element in elements:
+                insert(element)
+                group = key_fn(element.value)
+                values = [
+                    value_fn(member.value)
+                    for member in window
+                    if key_fn(member.value) == group
+                ]
+                append(element.with_value((group, aggregate_fn(values))))
+        return outputs
+
     def state_size(self) -> int:
         return len(self.window)
 
@@ -164,6 +200,47 @@ class IncrementalAggregate(Operator):
         else:  # avg
             result = self._sum / count
         return [element.with_value(result)]
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        """Batched kernel with the running sum kept in a local.
+
+        The expiry-subtract / insert-add sequence runs in exactly the
+        scalar order, so floating-point results are bit-identical; the
+        ``count`` aggregate skips sum maintenance entirely.
+        """
+        if not elements:
+            return []
+        self._guard(port)
+        window = self.window
+        insert = window.insert
+        outputs: List[StreamElement] = []
+        append = outputs.append
+        aggregate = self.aggregate
+        if aggregate == "count":
+            for element in elements:
+                insert(element)
+                append(element.with_value(len(window)))
+            return outputs
+        value_fn = self._value_fn
+        size_ns = window.size_ns
+        is_sum = aggregate == "sum"
+        total = self._sum
+        for element in elements:
+            cutoff = element.timestamp - size_ns
+            for member in window:
+                if member.timestamp <= cutoff:
+                    total -= value_fn(member.value)
+                else:
+                    break
+            if insert(element):
+                total += value_fn(element.value)
+            append(
+                element.with_value(total if is_sum else total / len(window))
+            )
+        self._sum = total
+        return outputs
 
     def state_size(self) -> int:
         return len(self.window)

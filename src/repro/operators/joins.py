@@ -18,7 +18,7 @@ the whole window, not with one hash bucket.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List
+from typing import Any, Callable, Deque, Dict, List, Sequence
 
 from repro.operators.base import Operator
 from repro.streams.elements import StreamElement
@@ -107,12 +107,16 @@ class SymmetricHashJoin(_WindowedJoin):
         identity = lambda value: value  # noqa: E731 - tiny local default
         self._key_fns = key_fns or (identity, identity)
         # Per side: insertion-ordered deque (for expiry) and key index.
+        # Buckets are deques: elements enter a bucket in arrival order and
+        # expire strictly oldest-first, so an expiry victim is always the
+        # bucket's front — popleft() is O(1) where a list scan was
+        # O(bucket).
         self._order: tuple[Deque[StreamElement], Deque[StreamElement]] = (
             deque(),
             deque(),
         )
         self._index: tuple[
-            Dict[Any, List[StreamElement]], Dict[Any, List[StreamElement]]
+            Dict[Any, Deque[StreamElement]], Dict[Any, Deque[StreamElement]]
         ] = ({}, {})
 
     def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
@@ -122,11 +126,69 @@ class SymmetricHashJoin(_WindowedJoin):
         self._expire(1, now)
         other = 1 - port
         key = self._key_fns[port](element.value)
-        bucket = self._index[other].get(key, [])
+        bucket = self._index[other].get(key, ())
         self._account(len(bucket))
         outputs = [self._emit(element, port, match) for match in bucket]
         self._order[port].append(element)
-        self._index[port].setdefault(key, []).append(element)
+        own_bucket = self._index[port].get(key)
+        if own_bucket is None:
+            self._index[port][key] = own_bucket = deque()
+        own_bucket.append(element)
+        return outputs
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        """Batched probe kernel, bit-identical to the scalar path.
+
+        Hoists the per-element overhead out of the loop: the opposite
+        side's expiry scan only runs when the cutoff actually reaches
+        its oldest element, this side's expiry is deferred to one scan
+        at the batch's timestamp frontier (probes never look at our own
+        window, so the final state is the same), and the probe-work
+        counters are accumulated locally and written back once.
+        """
+        if not elements:
+            return []
+        self._guard(port)
+        other = 1 - port
+        key_fn = self._key_fns[port]
+        other_order = self._order[other]
+        other_index = self._index[other]
+        own_order = self._order[port]
+        own_index = self._index[port]
+        window_ns = self.window_ns
+        emit = self._emit
+        expire = self._expire
+        outputs: List[StreamElement] = []
+        extend = outputs.extend
+        append_own = own_order.append
+        probe_total = 0
+        probe_last = 0
+        frontier = elements[0].timestamp
+        for element in elements:
+            now = element.timestamp
+            if now > frontier:
+                frontier = now
+            if other_order and other_order[0].timestamp <= now - window_ns:
+                expire(other, now)
+            key = key_fn(element.value)
+            bucket = other_index.get(key)
+            if bucket:
+                probe_last = len(bucket)
+                probe_total += probe_last
+                extend([emit(element, port, match) for match in bucket])
+            else:
+                probe_last = 0
+            append_own(element)
+            own_bucket = own_index.get(key)
+            if own_bucket is None:
+                own_index[key] = own_bucket = deque()
+            own_bucket.append(element)
+        if own_order and own_order[0].timestamp <= frontier - window_ns:
+            expire(port, frontier)
+        self.last_probe_work = probe_last
+        self.total_probe_work += probe_total
         return outputs
 
     def _expire(self, side: int, now_ns: int) -> None:
@@ -138,7 +200,9 @@ class SymmetricHashJoin(_WindowedJoin):
             victim = order.popleft()
             key = key_fn(victim.value)
             bucket = index[key]
-            bucket.remove(victim)
+            # The victim is the globally oldest element on this side and
+            # buckets hold arrival order, so it is the bucket's front.
+            bucket.popleft()
             if not bucket:
                 del index[key]
 
@@ -208,6 +272,56 @@ class SymmetricNestedLoopsJoin(_WindowedJoin):
             if self._predicate(left, right):
                 outputs.append(self._emit(element, port, candidate))
         self._windows[port].append(element)
+        return outputs
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], port: int = 0
+    ) -> List[StreamElement]:
+        """Batched scan kernel, bit-identical to the scalar path.
+
+        Same hoisting as the hash join: the opposite window expires only
+        when its oldest element actually falls out, this side's expiry
+        runs once at the batch frontier, and probe work is accumulated
+        locally.
+        """
+        if not elements:
+            return []
+        self._guard(port)
+        other = 1 - port
+        opposite = self._windows[other]
+        own = self._windows[port]
+        predicate = self._predicate
+        emit = self._emit
+        expire = self._expire
+        window_ns = self.window_ns
+        outputs: List[StreamElement] = []
+        append = outputs.append
+        append_own = own.append
+        probe_total = 0
+        probe_last = 0
+        frontier = elements[0].timestamp
+        for element in elements:
+            now = element.timestamp
+            if now > frontier:
+                frontier = now
+            if opposite and opposite[0].timestamp <= now - window_ns:
+                expire(other, now)
+            probe_last = len(opposite)
+            probe_total += probe_last
+            value = element.value
+            if port == 0:
+                for candidate in opposite:
+                    if predicate(value, candidate.value):
+                        append(emit(element, port, candidate))
+            else:
+                for candidate in opposite:
+                    if predicate(candidate.value, value):
+                        append(emit(element, port, candidate))
+            append_own(element)
+        if own and own[0].timestamp <= frontier - window_ns:
+            expire(port, frontier)
+        self.last_probe_work = probe_last
+        self.total_probe_work += probe_total
         return outputs
 
     def _expire(self, side: int, now_ns: int) -> None:

@@ -15,7 +15,7 @@ Two flavours:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator
+from typing import Deque, Iterable, Iterator
 
 from repro.streams.elements import StreamElement
 
@@ -60,6 +60,30 @@ class TimeWindow:
             position -= 1
         elements.insert(position, element)
         return True
+
+    def insert_batch(self, elements: Iterable[StreamElement]) -> int:
+        """Insert a run of elements; returns how many were inserted.
+
+        Equivalent to calling :meth:`insert` per element.  When the run
+        is timestamp-ordered and not tardy relative to the window (the
+        batch-at-a-time hot path), the whole run is appended in one
+        ``extend`` and expiry runs once at the final timestamp — the
+        incremental expirations it skips remove exactly the same prefix.
+        Out-of-order runs fall back to the element-wise path.
+        """
+        batch = list(elements)
+        if not batch:
+            return 0
+        window = self._elements
+        previous = window[-1].timestamp if window else batch[0].timestamp
+        for element in batch:
+            if element.timestamp < previous:
+                insert = self.insert
+                return sum(1 for element in batch if insert(element))
+            previous = element.timestamp
+        window.extend(batch)
+        self.expire(batch[-1].timestamp)
+        return len(batch)
 
     def expire(self, now_ns: int) -> int:
         """Drop elements outside ``(now_ns - size_ns, now_ns]``.

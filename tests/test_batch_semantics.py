@@ -16,13 +16,14 @@ from repro.core.dataflow import Dispatcher
 from repro.core.engine import ThreadedEngine
 from repro.core.modes import di_config, gts_config, hmts_config, ots_config
 from repro.graph.builder import QueryBuilder
-from repro.operators.aggregate import WindowedAggregate
+from repro.operators.aggregate import IncrementalAggregate, WindowedAggregate
 from repro.operators.dedup import WindowedDistinct
-from repro.operators.joins import SymmetricHashJoin
+from repro.operators.joins import SymmetricHashJoin, SymmetricNestedLoopsJoin
 from repro.operators.projection import FlatMapOperator, MapOperator, Projection
 from repro.operators.queue_op import QueueOperator
 from repro.operators.selection import Selection, SimulatedSelection
 from repro.operators.union import Union
+from repro.operators.window import TimeWindow
 from repro.streams.elements import END_OF_STREAM, StreamElement, is_end
 from repro.streams.sinks import CollectingSink
 from repro.streams.sources import ListSource
@@ -68,6 +69,30 @@ OPERATORS = {
     "union": lambda: Union(arity=1),
     "distinct": lambda: WindowedDistinct(window_ns=5_000, key_fn=lambda v: v % 7),
     "aggregate": lambda: WindowedAggregate(window_ns=4_000, aggregate="count"),
+    # Stateful batch kernels (PR 2): the hand-written process_batch
+    # overrides must stay bit-identical to the scalar loop.
+    "aggregate-sum": lambda: WindowedAggregate(window_ns=4_000, aggregate="sum"),
+    "aggregate-max-grouped": lambda: WindowedAggregate(
+        window_ns=4_000, aggregate="max", key_fn=lambda v: v % 3
+    ),
+    "incremental-sum": lambda: IncrementalAggregate(
+        window_ns=4_000, aggregate="sum"
+    ),
+    "incremental-avg": lambda: IncrementalAggregate(
+        window_ns=4_000, aggregate="avg"
+    ),
+    "incremental-count": lambda: IncrementalAggregate(
+        window_ns=4_000, aggregate="count"
+    ),
+}
+
+JOINS = {
+    "hash": lambda: SymmetricHashJoin(
+        window_ns=10_000, key_fns=(lambda v: v % 3, lambda v: v % 3)
+    ),
+    "nested-loops": lambda: SymmetricNestedLoopsJoin(
+        window_ns=10_000, predicate=lambda left, right: (left + right) % 2 == 0
+    ),
 }
 
 
@@ -102,28 +127,29 @@ class TestOperatorBatchEquivalence:
         batched = run_batched(make_op, items, splits)
         assert_same_stream(batched, scalar)
 
+    @pytest.mark.parametrize("join_name", sorted(JOINS))
     @settings(max_examples=25, deadline=None)
-    @given(
-        values=st.lists(
-            st.tuples(st.integers(0, 9), st.booleans()), max_size=60
-        ),
-        split=st.integers(0, 60),
-    )
-    def test_binary_join_default_batch_matches_scalar(self, values, split):
+    @given(data=st.data())
+    def test_binary_join_batch_matches_scalar(self, join_name, data):
+        make_join = JOINS[join_name]
+        values = data.draw(
+            st.lists(st.tuples(st.integers(0, 9), st.booleans()), max_size=60)
+        )
+        split = data.draw(st.integers(0, 60))
         items = elements([v for v, _ in values])
         ports = [int(p) for _, p in values]
 
         def feed_scalar():
-            join = SymmetricHashJoin(window_ns=10_000)
+            join = make_join()
             out = []
             for item, port in zip(items, ports):
                 out.extend(join.process(item, port))
-            return out
+            return out, join
 
         def feed_batched():
             # Batch runs of same-port arrivals (what a per-port batch
             # dispatch produces), split at an arbitrary extra point.
-            join = SymmetricHashJoin(window_ns=10_000)
+            join = make_join()
             out = []
             run, run_port = [], None
             cut = split % (len(items) + 1)
@@ -135,9 +161,41 @@ class TestOperatorBatchEquivalence:
                 run.append(item)
             if run:
                 out.extend(join.process_batch(run, run_port))
-            return out
+            return out, join
 
-        assert_same_stream(feed_batched(), feed_scalar())
+        scalar_out, scalar_join = feed_scalar()
+        batched_out, batched_join = feed_batched()
+        assert_same_stream(batched_out, scalar_out)
+        # The batched kernels must keep the probe-work counters and the
+        # window state exactly where the scalar loop leaves them.
+        assert batched_join.total_probe_work == scalar_join.total_probe_work
+        assert batched_join.last_probe_work == scalar_join.last_probe_work
+        assert batched_join.window_sizes() == scalar_join.window_sizes()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        deltas=st.lists(st.integers(min_value=-6_000, max_value=3_000), max_size=50),
+        splits=st.lists(st.integers(min_value=0, max_value=60), max_size=6),
+    )
+    def test_time_window_insert_batch_matches_insert(self, deltas, splits):
+        # Random walks in timestamp space exercise the ordered fast path,
+        # tardy insertions, and drop-on-arrival alike.
+        now = 50_000
+        items = []
+        for i, delta in enumerate(deltas):
+            now = max(0, now + delta)
+            items.append(StreamElement(value=i, timestamp=now))
+        scalar = TimeWindow(size_ns=10_000)
+        inserted_scalar = sum(1 for item in items if scalar.insert(item))
+        batched = TimeWindow(size_ns=10_000)
+        cuts = sorted({s % (len(items) + 1) for s in splits} | {0, len(items)})
+        inserted_batched = sum(
+            batched.insert_batch(items[lo:hi]) for lo, hi in zip(cuts, cuts[1:])
+        )
+        assert inserted_batched == inserted_scalar
+        assert [(e.value, e.timestamp) for e in batched] == [
+            (e.value, e.timestamp) for e in scalar
+        ]
 
     def test_simulated_selection_exact_counts_across_batches(self):
         import math
@@ -292,6 +350,63 @@ class TestDispatcherBatch:
         assert dispatcher.run_queue(queue, max_items=30, batch_size=8) == 30
         assert len(queue.payload) == 70
 
+    def test_fused_chain_compiled_and_invalidated(self):
+        # A straight-line VO segment compiles into one fused stage chain;
+        # splicing a queue mid-chain must recompile a shorter one.
+        graph, first, sink = filter_chain(selectivities=(0.9, 0.8, 0.7, 0.6))
+        dispatcher = Dispatcher(graph)
+        chain = dispatcher.fused_chain(first)
+        assert len(chain) == 4  # `first` plus the three fused filters
+        assert all(node.is_operator for node in chain)
+        edge = graph.out_edges(chain[1])[0]
+        graph.insert_queue(edge)
+        assert [n.name for n in dispatcher.fused_chain(first)] == [
+            chain[0].name,
+            chain[1].name,
+        ]  # the recompiled segment stops at the new queue
+
+    @staticmethod
+    def _joined_query():
+        build = QueryBuilder()
+        sink = CollectingSink()
+        left = build.source(ListSource([]), name="left").map(
+            lambda v: v, name="lmap"
+        )
+        right = build.source(ListSource([]), name="right").map(
+            lambda v: v, name="rmap"
+        )
+        left.hash_join(right, window_ns=10**12).aggregate(
+            10**12, "count"
+        ).into(sink)
+        graph = build.graph(validate=False)
+        left_q = graph.insert_queue(graph.out_edges(left.node)[0])
+        right_q = graph.insert_queue(graph.out_edges(right.node)[0])
+        return graph, left.node, right.node, left_q, right_q, sink
+
+    @pytest.mark.parametrize("batch_size", [None, 64])
+    def test_run_queue_end_mid_batch_through_join_and_aggregate(
+        self, batch_size
+    ):
+        # Queues feeding a stateful join hold [data..., END]; a bulk pop
+        # sees END mid-batch and the batched kernels downstream must
+        # produce the scalar stream and counters regardless.
+        graph, left, right, left_q, right_q, sink = self._joined_query()
+        dispatcher = Dispatcher(graph)
+        dispatcher.inject_batch(left, elements(range(5)))
+        dispatcher.inject_end(left)
+        dispatcher.inject_batch(right, elements(range(5)))
+        dispatcher.inject_end(right)
+        processed = dispatcher.run_queue(left_q, batch_size=batch_size)
+        processed += dispatcher.run_queue(right_q, batch_size=batch_size)
+        assert processed == 10
+        join = graph.successors(left_q)[0].operator
+        # Left drains first against an empty right window, then right
+        # probes the full left window: 5 matches, running count 1..5.
+        assert sink.values == [1, 2, 3, 4, 5]
+        assert sink.ended
+        assert join.total_probe_work == 5
+        assert join.window_sizes() == (5, 5)
+
     def test_dispatch_plan_invalidated_by_queue_splice(self):
         graph, first, sink = filter_chain(selectivities=(1.0, 1.0))
         dispatcher = Dispatcher(graph)
@@ -335,6 +450,26 @@ def fig9_query(n=600):
     return build.graph(), sink
 
 
+def join_agg_query(n=120):
+    """Two sources -> hash join -> windowed count, deterministic results.
+
+    The windows never expire, so however the two source threads
+    interleave, the join emits the same multiset of pairs (24 per key
+    class x 5 keys x 24 partners = 2880) and the running count emits
+    1..2880 — sorted sink values are mode- and batch-independent.
+    """
+    build = QueryBuilder()
+    sink = CollectingSink()
+    left = build.source(ListSource(range(n)), name="left")
+    right = build.source(ListSource(range(n)), name="right")
+    left.hash_join(
+        right,
+        window_ns=10**15,
+        key_fns=(lambda v: v % 5, lambda v: v % 5),
+    ).aggregate(10**15, "count").into(sink)
+    return build.graph(), sink
+
+
 MODE_FACTORIES = {
     "di": lambda graph, **kw: di_config(graph, **kw),
     "gts": lambda graph, **kw: gts_config(graph, "fifo", **kw),
@@ -350,7 +485,7 @@ MODE_FACTORIES = {
 
 
 class TestEngineBatchSizeEquivalence:
-    @pytest.mark.parametrize("query", [fig7_query, fig9_query])
+    @pytest.mark.parametrize("query", [fig7_query, fig9_query, join_agg_query])
     @pytest.mark.parametrize("mode", sorted(MODE_FACTORIES))
     def test_sink_counts_identical_batch_1_vs_64(self, query, mode):
         counts = {}
