@@ -6,8 +6,6 @@ simulator's event loop) so regressions in the substrate are visible
 independently of the experiment-level numbers.
 """
 
-import pytest
-
 from repro.core.dataflow import Dispatcher
 from repro.graph.builder import QueryBuilder
 from repro.operators.aggregate import WindowedAggregate

@@ -18,7 +18,6 @@ Run with::
     python examples/adaptive_placement.py
 """
 
-import time
 
 from repro import (
     CollectingSink,
@@ -52,7 +51,7 @@ def make_predicate():
     return predicate
 
 
-def main() -> None:
+def build_query():
     build = QueryBuilder("adaptive-demo")
     sink = CollectingSink()
     (
@@ -64,6 +63,18 @@ def main() -> None:
     )
     graph = build.graph()
     derive_rates(graph)
+    return graph, sink
+
+
+def build_graph():
+    """Lint target: the initial fully decoupled layout."""
+    graph, _ = build_query()
+    graph.decouple_all()
+    return graph
+
+
+def main() -> None:
+    graph, sink = build_query()
     graph.decouple_all()
     initial_queues = len(graph.queues())
 

@@ -49,7 +49,7 @@ def deep_inspect(p: dict) -> bool:
     return signature < 101
 
 
-def main() -> None:
+def build_query():
     build = QueryBuilder("intrusion-detection")
     alerts = CollectingSink()
     stream = build.source(
@@ -67,6 +67,17 @@ def main() -> None:
     # Decouple after the source only; the filter chain runs as one VO.
     source_node = graph.sources()[0]
     graph.insert_queue(graph.out_edges(source_node)[0])
+    return graph, alerts
+
+
+def build_graph():
+    """Lint target: the GTS starting layout (one queue after the source)."""
+    graph, _ = build_query()
+    return graph
+
+
+def main() -> None:
+    graph, alerts = build_query()
 
     engine = ThreadedEngine(graph, gts_config(graph, "fifo"))
     engine.start()

@@ -36,6 +36,12 @@ def build_chain():
     return build.graph(), first.node, second.node, sink
 
 
+def build_graph():
+    """Lint target: the queue-free selection chain both paradigms share."""
+    graph, _, _, _ = build_chain()
+    return graph
+
+
 def main() -> None:
     # --- 1. Pull VO: proxies + a single polled root -------------------
     graph, first, second, _ = build_chain()

@@ -22,9 +22,8 @@ from repro import (
 )
 
 
-def main() -> None:
-    # 1. A query: keep readings above a threshold, convert units, and
-    #    count them over a sliding one-second window.
+def build_query():
+    """The quickstart query: threshold filter, rescale, windowed count."""
     build = QueryBuilder("quickstart")
     sink = CollectingSink()
     (
@@ -40,7 +39,30 @@ def main() -> None:
         .aggregate(window_ns=1_000_000_000, aggregate="count")
         .into(sink)
     )
-    graph = build.graph()
+    return build.graph(), sink
+
+
+def build_graph():
+    """Lint target (``python -m repro.analysis.lint examples/quickstart.py``):
+    the decoupled graph plus its one-VO-per-operator partitioning."""
+    from repro.core import build_virtual_operators
+    from repro.core.partition import Partition, Partitioning
+
+    graph, _ = build_query()
+    graph.decouple_all()
+    partitioning = Partitioning(
+        [
+            Partition(vo.members, name=f"vo{index}")
+            for index, vo in enumerate(build_virtual_operators(graph))
+        ]
+    )
+    return graph, partitioning
+
+
+def main() -> None:
+    # 1. A query: keep readings above a threshold, convert units, and
+    #    count them over a sliding one-second window.
+    graph, sink = build_query()
 
     # 2. Decouple every operator (the classic GTS/OTS layout).  The
     #    placement heuristic of Section 5 can decide this instead; see

@@ -86,6 +86,13 @@ def build_query():
     return build.graph(), sink
 
 
+def build_graph():
+    """Lint target: the measurement-pass layout (fully decoupled OTS)."""
+    graph, _ = build_query()
+    graph.decouple_all()
+    return graph
+
+
 def main() -> None:
     # --- Pass 1: measure, running fully decoupled (OTS) --------------
     graph, sink = build_query()

@@ -1,0 +1,42 @@
+"""Static graph analysis and runtime concurrency sanitizing.
+
+Two halves, one findings model:
+
+* the **static linter** (:mod:`repro.analysis.lint`,
+  :mod:`repro.analysis.rules`) validates the structural invariants the
+  HMTS runtime relies on — queue placement on partition boundaries,
+  acyclic DI chains, END_OF_STREAM reachability, stall avoidance, and
+  friends — over a :class:`~repro.graph.query_graph.QueryGraph` and an
+  optional :class:`~repro.core.partition.Partitioning`;
+* the **concurrency sanitizer** (:mod:`repro.analysis.sanitizer`)
+  instruments a *running* engine (``EngineConfig.sanitize=True``) with
+  lock-order tracking, an ownership/happens-before checker, and a
+  scheduler starvation watchdog.
+
+See ``docs/analysis.md`` for the rule catalogue and sanitizer knobs.
+"""
+
+from repro.analysis.findings import Finding, Severity, sort_findings, worst_severity
+from repro.analysis.lint import lint_graph
+from repro.analysis.rules import RULES, LintContext, LintRule, iter_rules, rule
+from repro.analysis.sanitizer import (
+    ConcurrencySanitizer,
+    SanitizedLock,
+    StarvationWatchdog,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "sort_findings",
+    "worst_severity",
+    "lint_graph",
+    "RULES",
+    "LintContext",
+    "LintRule",
+    "iter_rules",
+    "rule",
+    "ConcurrencySanitizer",
+    "SanitizedLock",
+    "StarvationWatchdog",
+]

@@ -1,0 +1,89 @@
+"""Finding model shared by the static linter and the runtime sanitizer.
+
+A :class:`Finding` is one diagnosed problem: which rule produced it, how
+bad it is, which nodes it concerns (as a path through the graph), and —
+because the point of a linter is to be actionable — a concrete fix
+hint.  The same shape is used for static results (``repro.analysis.lint``)
+and for the concurrency sanitizer's runtime reports, so tooling (CI,
+tests, dashboards) can consume both uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so findings sort worst-first."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem in a query graph or a running engine.
+
+    Attributes:
+        rule: Stable rule identifier (e.g. ``"AN001"``).
+        severity: :class:`Severity` of the problem.
+        message: One-line human-readable description.
+        nodes: Names of the involved nodes, in path order where a path
+            is meaningful (producer before consumer).
+        fix_hint: Concrete suggestion for resolving the finding.
+        detail: Optional multi-line context (e.g. the two stack traces
+            of a lock-order cycle).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    nodes: tuple[str, ...] = ()
+    fix_hint: str = ""
+    detail: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        """Render the finding as a single diagnostic line (plus detail)."""
+        path = " -> ".join(self.nodes)
+        location = f" [{path}]" if path else ""
+        hint = f"\n    hint: {self.fix_hint}" if self.fix_hint else ""
+        detail = f"\n{_indent(self.detail)}" if self.detail else ""
+        return f"{self.rule} {self.severity}: {self.message}{location}{hint}{detail}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view (used by ``lint --format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "nodes": list(self.nodes),
+            "fix_hint": self.fix_hint,
+            "detail": self.detail,
+        }
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def worst_severity(findings: Iterable[Finding]) -> Severity | None:
+    """The highest severity among ``findings`` (None when empty)."""
+    worst: Severity | None = None
+    for finding in findings:
+        if worst is None or finding.severity > worst:
+            worst = finding.severity
+    return worst
+
+
+def sort_findings(findings: Sequence[Finding]) -> list[Finding]:
+    """Order findings worst-first, then by rule id, then by node path."""
+    return sorted(
+        findings,
+        key=lambda f: (-int(f.severity), f.rule, f.nodes, f.message),
+    )

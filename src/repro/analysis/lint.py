@@ -1,0 +1,216 @@
+"""Static query-graph linter: library API and command-line front end.
+
+Library use::
+
+    from repro.analysis import lint_graph
+    findings = lint_graph(graph, partitioning)
+    for finding in findings:
+        print(finding.format())
+
+Command line (over example graphs)::
+
+    PYTHONPATH=src python -m repro.analysis.lint --examples examples
+    PYTHONPATH=src python -m repro.analysis.lint examples/quickstart.py
+    PYTHONPATH=src python -m repro.analysis.lint pkg.module:build_graph
+
+Each target is a Python file (or ``module:factory`` spec) exposing a
+``build_graph()`` function that returns either a
+:class:`~repro.graph.query_graph.QueryGraph` or a ``(graph,
+partitioning)`` pair.  The process exits non-zero when any finding at
+or above ``--fail-on`` severity is produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.rules import RULES, LintContext, LintRule, iter_rules
+from repro.core.partition import Partitioning
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["lint_graph", "main"]
+
+#: Name of the factory function lint targets must expose.
+FACTORY_NAME = "build_graph"
+
+
+def lint_graph(
+    graph: QueryGraph,
+    partitioning: Optional[Partitioning] = None,
+    rules: Optional[Iterable[str]] = None,
+    min_severity: Severity = Severity.INFO,
+) -> List[Finding]:
+    """Run the registered lint rules over ``graph``.
+
+    Args:
+        graph: The query graph to analyse.
+        partitioning: Optional partitioning (candidate virtual
+            operators); rules reasoning about partition boundaries are
+            skipped without it.
+        rules: Optional iterable of rule ids to run (default: all).
+        min_severity: Drop findings below this severity.
+
+    Returns:
+        Findings sorted worst-first.
+
+    Raises:
+        KeyError: ``rules`` names an unknown rule id.
+    """
+    selected: List[LintRule]
+    if rules is None:
+        selected = list(iter_rules())
+    else:
+        selected = [RULES[rule_id] for rule_id in rules]
+    context = LintContext(graph=graph, partitioning=partitioning)
+    findings: List[Finding] = []
+    for lint_rule in selected:
+        findings.extend(lint_rule.run(context))
+    return sort_findings(
+        [finding for finding in findings if finding.severity >= min_severity]
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _load_target(spec: str) -> Tuple[QueryGraph, Optional[Partitioning]]:
+    """Resolve ``file.py[:factory]`` or ``module:factory`` to a graph."""
+    path_part, _, factory_name = spec.partition(":")
+    factory_name = factory_name or FACTORY_NAME
+    path = Path(path_part)
+    if path.suffix == ".py":
+        module_name = f"_repro_lint_target_{path.stem}"
+        module_spec = importlib.util.spec_from_file_location(module_name, path)
+        if module_spec is None or module_spec.loader is None:
+            raise SystemExit(f"lint: cannot import {path}")
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[module_name] = module
+        module_spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(path_part)
+    factory = getattr(module, factory_name, None)
+    if factory is None:
+        raise LookupError(
+            f"{spec}: no {factory_name}() factory; "
+            "expose one returning a QueryGraph or (graph, partitioning)"
+        )
+    built = factory()
+    if isinstance(built, QueryGraph):
+        return built, None
+    graph, partitioning = built
+    if not isinstance(graph, QueryGraph):
+        raise TypeError(f"{spec}: {factory_name}() did not return a QueryGraph")
+    return graph, partitioning
+
+
+def _discover_examples(directory: Path) -> List[str]:
+    """Example files under ``directory`` that expose a graph factory."""
+    targets = []
+    for path in sorted(directory.glob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        if f"def {FACTORY_NAME}(" in text:
+            targets.append(str(path))
+    return targets
+
+
+def _print_rule_catalogue() -> None:
+    for lint_rule in iter_rules():
+        scope = " (needs partitioning)" if lint_rule.requires_partitioning else ""
+        print(f"{lint_rule.rule_id}  {lint_rule.title}{scope}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Statically lint query graphs for HMTS structural invariants.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="graph factories: 'file.py', 'file.py:factory', or 'module:factory'",
+    )
+    parser.add_argument(
+        "--examples",
+        metavar="DIR",
+        help="also lint every *.py under DIR exposing a build_graph() factory",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "error", "never"],
+        default="error",
+        help="exit non-zero when a finding at/above this severity appears",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+
+    targets: List[str] = list(args.targets)
+    if args.examples:
+        targets.extend(_discover_examples(Path(args.examples)))
+    if not targets:
+        parser.error("no targets; pass graph factories or --examples DIR")
+
+    rule_ids = args.rules.split(",") if args.rules else None
+    fail_threshold: Optional[Severity] = (
+        None if args.fail_on == "never" else Severity[args.fail_on.upper()]
+    )
+
+    exit_code = 0
+    report: List[dict[str, object]] = []
+    for spec in targets:
+        graph, partitioning = _load_target(spec)
+        findings = lint_graph(graph, partitioning, rules=rule_ids)
+        if args.output_format == "json":
+            report.append(
+                {
+                    "target": spec,
+                    "graph": graph.name,
+                    "findings": [finding.to_dict() for finding in findings],
+                }
+            )
+        else:
+            label = f"{spec} ({graph.name})"
+            if not findings:
+                print(f"{label}: clean")
+            else:
+                print(f"{label}: {len(findings)} finding(s)")
+                for finding in findings:
+                    print(f"  {finding.format()}")
+        if fail_threshold is not None and any(
+            finding.severity >= fail_threshold for finding in findings
+        ):
+            exit_code = 1
+    if args.output_format == "json":
+        print(json.dumps(report, indent=2))
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

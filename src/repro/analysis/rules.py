@@ -1,0 +1,608 @@
+"""The static lint rules over query graphs and partitionings.
+
+Each rule encodes one structural invariant the HMTS runtime relies on
+but the graph/engine layers only enforce by convention.  Rules are
+registered in a global registry via the :func:`rule` decorator so the
+linter (and its CLI) can enumerate, filter, and document them; each
+rule is a pure function from a :class:`LintContext` to findings.
+
+Rule catalogue (see ``docs/analysis.md`` for the paper rationale):
+
+========  ==============================================================
+AN001     Every partition-crossing edge must carry a decoupling queue.
+AN002     The DI subgraph inside a virtual operator must be acyclic.
+AN003     No unreachable / orphan nodes.
+AN004     END_OF_STREAM must be able to reach every sink.
+AN005     Stall avoidance: no blocking operator upstream of a
+          queue-less fan-out.
+AN006     Push/pull boundary shape: queues are point-to-point and never
+          back-to-back.
+AN007     ``process_batch`` overrides must carry a scalar-equivalence
+          test marker.
+AN008     Fused-chain eligibility diagnostics (including queues that
+          needlessly split an intra-partition chain).
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.core.partition import Partitioning
+from repro.graph.node import Node
+from repro.graph.query_graph import QueryGraph
+from repro.operators.base import Operator
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "RULES",
+    "rule",
+    "iter_rules",
+]
+
+
+@dataclass
+class LintContext:
+    """Everything a lint rule may inspect.
+
+    Attributes:
+        graph: The query graph under analysis.
+        partitioning: Optional level-2 partitioning (the candidate
+            virtual operators).  Rules that reason about partition
+            boundaries are skipped when it is absent.
+    """
+
+    graph: QueryGraph
+    partitioning: Optional[Partitioning] = None
+
+
+CheckFn = Callable[[LintContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: identity, documentation, and its check."""
+
+    rule_id: str
+    title: str
+    requires_partitioning: bool
+    check: CheckFn
+
+    def run(self, context: LintContext) -> List[Finding]:
+        """Apply the rule; empty when inapplicable or satisfied."""
+        if self.requires_partitioning and context.partitioning is None:
+            return []
+        return list(self.check(context))
+
+
+#: The global registry, keyed by rule id, in registration order.
+RULES: Dict[str, LintRule] = {}
+
+
+def rule(
+    rule_id: str, title: str, requires_partitioning: bool = False
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under ``rule_id`` in :data:`RULES`."""
+
+    def register(check: CheckFn) -> CheckFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        RULES[rule_id] = LintRule(
+            rule_id=rule_id,
+            title=title,
+            requires_partitioning=requires_partitioning,
+            check=check,
+        )
+        return check
+
+    return register
+
+
+def iter_rules() -> Iterator[LintRule]:
+    """All registered rules, in registration order."""
+    return iter(RULES.values())
+
+
+# ----------------------------------------------------------------------
+# Shared graph helpers
+# ----------------------------------------------------------------------
+def _forward_reachable(graph: QueryGraph, starts: Iterable[Node]) -> Set[Node]:
+    seen: Set[Node] = set(starts)
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for edge in graph.out_edges(node):
+            if edge.consumer not in seen:
+                seen.add(edge.consumer)
+                frontier.append(edge.consumer)
+    return seen
+
+
+def _backward_reachable(graph: QueryGraph, starts: Iterable[Node]) -> Set[Node]:
+    seen: Set[Node] = set(starts)
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for edge in graph.in_edges(node):
+            if edge.producer not in seen:
+                seen.add(edge.producer)
+                frontier.append(edge.producer)
+    return seen
+
+
+def _induced_cycle(graph: QueryGraph, members: Set[Node]) -> List[Node]:
+    """Nodes of ``members`` on a directed cycle of the induced subgraph.
+
+    Kahn's algorithm restricted to ``members``: whatever cannot be
+    topologically ordered is part of (or downstream of, within the
+    cycle's strongly connected component) a cycle.  Empty when acyclic.
+    """
+    in_degree: Dict[Node, int] = {node: 0 for node in members}
+    for node in members:
+        for edge in graph.out_edges(node):
+            if edge.consumer in in_degree:
+                in_degree[edge.consumer] += 1
+    ready = deque(node for node, degree in in_degree.items() if degree == 0)
+    ordered = 0
+    while ready:
+        node = ready.popleft()
+        ordered += 1
+        for edge in graph.out_edges(node):
+            consumer = edge.consumer
+            if consumer in in_degree:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+    if ordered == len(members):
+        return []
+    return [node for node, degree in in_degree.items() if degree > 0]
+
+
+def _queue_free_regions(graph: QueryGraph) -> List[Set[Node]]:
+    """Weakly connected components of the non-queue operator subgraph.
+
+    These are exactly the node groups that share one DI chain reaction
+    (a thread entering the region traverses it without decoupling) —
+    the implicit virtual operators of an unpartitioned graph.
+    """
+    members = {
+        node for node in graph.nodes if node.is_operator and not node.is_queue
+    }
+    regions: List[Set[Node]] = []
+    unvisited = set(members)
+    while unvisited:
+        start = unvisited.pop()
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            neighbours = [edge.consumer for edge in graph.out_edges(node)]
+            neighbours += [edge.producer for edge in graph.in_edges(node)]
+            for other in neighbours:
+                if other in unvisited:
+                    unvisited.discard(other)
+                    component.add(other)
+                    frontier.append(other)
+        regions.append(component)
+    return regions
+
+
+def _is_blocking(node: Node) -> bool:
+    """True when the node's operator can stall the thread driving it."""
+    return bool(getattr(node.payload, "blocking", False))
+
+
+def _names(nodes: Iterable[Node]) -> Tuple[str, ...]:
+    return tuple(node.name for node in nodes)
+
+
+# ----------------------------------------------------------------------
+# AN001 — queue on every partition boundary
+# ----------------------------------------------------------------------
+@rule(
+    "AN001",
+    "every partition-crossing edge must carry a decoupling queue",
+    requires_partitioning=True,
+)
+def check_partition_boundaries(context: LintContext) -> Iterable[Finding]:
+    """Partition-crossing edges without a queue break thread isolation.
+
+    Paper Section 5.1.2: partitions are the virtual operators; the
+    edges between them are exactly where decoupling queues belong.  A
+    direct (queue-less) edge between two partitions means the producing
+    partition's thread runs the consuming partition's operators —
+    the partitions silently share a thread and the level-2 schedulers
+    never see the elements.
+    """
+    assert context.partitioning is not None
+    for edge in context.partitioning.crossing_edges(context.graph):
+        if edge.producer.is_queue or edge.consumer.is_queue:
+            continue
+        yield Finding(
+            rule="AN001",
+            severity=Severity.ERROR,
+            message=(
+                "edge crosses partitions "
+                f"{context.partitioning.partition_of(edge.producer).name!r} -> "
+                f"{context.partitioning.partition_of(edge.consumer).name!r} "
+                "without a decoupling queue"
+            ),
+            nodes=_names((edge.producer, edge.consumer)),
+            fix_hint=(
+                "splice a queue onto the edge with "
+                "graph.insert_queue(graph.find_edge(producer, consumer)) "
+                "and assign it to the consuming partition's scheduler"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# AN002 — no DI cycles inside a virtual operator
+# ----------------------------------------------------------------------
+@rule("AN002", "the DI chain inside a virtual operator must be acyclic")
+def check_di_cycles(context: LintContext) -> Iterable[Finding]:
+    """A cycle inside a queue-free region makes DI recurse forever.
+
+    Direct interoperability is a depth-first chain reaction (paper
+    Section 2.4); within one virtual operator there is no queue to
+    break the chain, so a cycle turns one element injection into
+    non-termination.  ``QueryGraph.connect`` rejects cycles, but graphs
+    assembled by other frontends (or deserialized) may bypass it.
+    """
+    if context.partitioning is not None:
+        regions: List[Set[Node]] = [
+            set(partition.nodes) for partition in context.partitioning
+        ]
+        labels = [partition.name for partition in context.partitioning]
+    else:
+        regions = _queue_free_regions(context.graph)
+        labels = [f"queue-free region #{index}" for index in range(len(regions))]
+    for label, members in zip(labels, regions):
+        cycle = _induced_cycle(context.graph, members)
+        if cycle:
+            yield Finding(
+                rule="AN002",
+                severity=Severity.ERROR,
+                message=f"DI cycle inside {label} (virtual operator)",
+                nodes=_names(sorted(cycle, key=lambda n: n.node_id)),
+                fix_hint=(
+                    "break the cycle: remove one of the cycle's edges or "
+                    "decouple it with a queue so the chain reaction "
+                    "terminates"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# AN003 — unreachable / orphan nodes
+# ----------------------------------------------------------------------
+@rule("AN003", "no unreachable or orphan nodes")
+def check_orphans(context: LintContext) -> Iterable[Finding]:
+    """Nodes no data can reach, or whose output can never reach a sink.
+
+    An operator unreachable from every source never receives an element
+    (or an END_OF_STREAM); an operator that cannot reach a sink does
+    work whose results are silently dropped.  Both usually indicate a
+    mis-wired graph.
+    """
+    graph = context.graph
+    fed = _forward_reachable(graph, graph.sources())
+    draining = _backward_reachable(graph, graph.sinks())
+    for node in graph.nodes:
+        if not node.is_source and node not in fed:
+            yield Finding(
+                rule="AN003",
+                severity=Severity.WARNING,
+                message=f"{node.kind.value} {node.name!r} is unreachable from every source",
+                nodes=(node.name,),
+                fix_hint="connect it downstream of a source, or remove it",
+            )
+        if not node.is_sink and node not in draining:
+            yield Finding(
+                rule="AN003",
+                severity=Severity.WARNING,
+                message=f"{node.kind.value} {node.name!r} cannot reach any sink",
+                nodes=(node.name,),
+                fix_hint="connect its output toward a sink, or remove it",
+            )
+
+
+# ----------------------------------------------------------------------
+# AN004 — END_OF_STREAM reachability
+# ----------------------------------------------------------------------
+@rule("AN004", "END_OF_STREAM must be able to reach every sink")
+def check_end_reachability(context: LintContext) -> Iterable[Finding]:
+    """Every input port on every source-to-sink path must end eventually.
+
+    An operator closes (and propagates END downstream) only once *all*
+    its input ports have ended (Section 2.2).  A port that is not
+    connected, or whose producers trace back to no source, never ends —
+    so every sink downstream of that operator waits for an
+    END_OF_STREAM that cannot arrive and the query never terminates.
+    """
+    graph = context.graph
+    fed = _forward_reachable(graph, graph.sources())
+    draining = _backward_reachable(graph, graph.sinks())
+    for node in graph.nodes:
+        if node.is_source or node not in draining:
+            continue
+        connected = {edge.port: edge for edge in graph.in_edges(node)}
+        for port in range(node.arity):
+            edge = connected.get(port)
+            if edge is None:
+                yield Finding(
+                    rule="AN004",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"input port {port} of {node.name!r} is unconnected; "
+                        "the port can never end, so no downstream sink ever "
+                        "sees END_OF_STREAM"
+                    ),
+                    nodes=(node.name,),
+                    fix_hint=f"connect a producer to {node.name!r} port {port}",
+                )
+            elif edge.producer not in fed and not edge.producer.is_source:
+                yield Finding(
+                    rule="AN004",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"input port {port} of {node.name!r} is fed by "
+                        f"{edge.producer.name!r}, which no source reaches; "
+                        "END_OF_STREAM can never arrive on this port"
+                    ),
+                    nodes=_names((edge.producer, node)),
+                    fix_hint=(
+                        f"wire a source upstream of {edge.producer.name!r} "
+                        "or disconnect the dead branch"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# AN005 — stall avoidance
+# ----------------------------------------------------------------------
+@rule("AN005", "no blocking operator upstream of a queue-less fan-out")
+def check_stall_avoidance(context: LintContext) -> Iterable[Finding]:
+    """A blocking operator must not share its DI thread with a fan-out.
+
+    The paper's stall-avoiding partitioning (Section 5.1) keeps
+    operators that may block (e.g. a join waiting for its opposite
+    window) away from fan-out points that the same thread must drive:
+    when the blocking operator holds the thread, every sibling branch
+    of the fan-out starves.  Decoupling at least one branch of the
+    fan-out (or the blocking operator's own output) restores progress.
+    """
+    graph = context.graph
+    for start in graph.nodes:
+        if not start.is_operator or start.is_queue or not _is_blocking(start):
+            continue
+        # Walk the queue-free downstream region the blocking operator's
+        # thread must drive, looking for undecoupled fan-out points.
+        seen = {start}
+        path: Dict[Node, Node] = {}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            out = graph.out_edges(node)
+            if len(out) >= 2 and not any(e.consumer.is_queue for e in out):
+                chain: List[Node] = [node]
+                while chain[-1] is not start:
+                    chain.append(path[chain[-1]])
+                yield Finding(
+                    rule="AN005",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"blocking operator {start.name!r} drives the "
+                        f"queue-less fan-out at {node.name!r}; while it "
+                        "blocks, every fan-out branch starves"
+                    ),
+                    nodes=_names(reversed(chain)),
+                    fix_hint=(
+                        f"insert a decoupling queue on an out-edge of "
+                        f"{node.name!r} (or decouple {start.name!r}'s "
+                        "output) so another thread can drive the branches"
+                    ),
+                )
+                continue  # report the nearest fan-out once per walk
+            for edge in out:
+                consumer = edge.consumer
+                if (
+                    consumer.is_operator
+                    and not consumer.is_queue
+                    and consumer not in seen
+                ):
+                    seen.add(consumer)
+                    path[consumer] = node
+                    frontier.append(consumer)
+
+
+# ----------------------------------------------------------------------
+# AN006 — push/pull boundary shape
+# ----------------------------------------------------------------------
+@rule("AN006", "queues are point-to-point boundaries, never back-to-back")
+def check_boundary_shape(context: LintContext) -> Iterable[Finding]:
+    """Queues must have exactly one producer, one consumer, no neighbours.
+
+    A decoupling queue is the boundary where push-based processing
+    hands over to a scheduler (or to a pull-based ONC reader, Section
+    3.2).  Fan-in would interleave two producers' orders inside one
+    buffer, fan-out would make two schedulers race for the same
+    elements, and a queue feeding a queue is a double boundary that
+    pays synchronization twice while no operator ever runs between the
+    two hand-offs.
+    """
+    graph = context.graph
+    for node in graph.queues():
+        in_edges = graph.in_edges(node)
+        out_edges = graph.out_edges(node)
+        if len(in_edges) != 1:
+            yield Finding(
+                rule="AN006",
+                severity=Severity.ERROR,
+                message=(
+                    f"queue {node.name!r} has {len(in_edges)} producers; "
+                    "a push/pull boundary needs exactly one"
+                ),
+                nodes=(node.name,),
+                fix_hint="give each producer its own queue",
+            )
+        if len(out_edges) != 1:
+            yield Finding(
+                rule="AN006",
+                severity=Severity.ERROR,
+                message=(
+                    f"queue {node.name!r} has {len(out_edges)} consumers; "
+                    "a push/pull boundary needs exactly one"
+                ),
+                nodes=(node.name,),
+                fix_hint=(
+                    "fan out *before* the queue (one queue per consumer) so "
+                    "schedulers do not race for the same buffered elements"
+                ),
+            )
+        for edge in out_edges:
+            if edge.consumer.is_queue:
+                yield Finding(
+                    rule="AN006",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"queue {node.name!r} feeds queue "
+                        f"{edge.consumer.name!r} directly; back-to-back "
+                        "boundaries pay synchronization twice for nothing"
+                    ),
+                    nodes=_names((node, edge.consumer)),
+                    fix_hint="remove one of the two queues (graph.remove_queue)",
+                )
+
+
+# ----------------------------------------------------------------------
+# AN007 — batch-override test markers
+# ----------------------------------------------------------------------
+@rule("AN007", "process_batch overrides must carry an equivalence marker")
+def check_batch_markers(context: LintContext) -> Iterable[Finding]:
+    """Custom batch kernels must declare scalar-equivalence testing.
+
+    Engines rely on ``process_batch`` being bit-identical to the
+    element-wise loop (values, order, END placement).  A class that
+    overrides it must declare ``batch_equivalence_tested = True`` *on
+    the overriding class* — the convention this repo pairs with a
+    property test comparing the batch kernel against the scalar loop.
+    """
+    reported: Set[type] = set()
+    for node in context.graph.nodes:
+        payload = node.payload
+        if not isinstance(payload, Operator):
+            continue
+        defining = next(
+            (
+                cls
+                for cls in type(payload).__mro__
+                if "process_batch" in cls.__dict__
+            ),
+            None,
+        )
+        if defining is None or defining is Operator or defining in reported:
+            continue
+        if defining.__dict__.get("batch_equivalence_tested", False):
+            continue
+        reported.add(defining)
+        yield Finding(
+            rule="AN007",
+            severity=Severity.WARNING,
+            message=(
+                f"{defining.__name__}.process_batch overrides the scalar "
+                "loop without a scalar-equivalence test marker"
+            ),
+            nodes=(node.name,),
+            fix_hint=(
+                "add a property test comparing process_batch to the "
+                "element-wise process loop, then set "
+                f"'batch_equivalence_tested = True' on {defining.__name__}"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# AN008 — fused-chain eligibility diagnostics
+# ----------------------------------------------------------------------
+def _fused_tail(graph: QueryGraph, node: Node) -> List[Node]:
+    """The straight-line non-queue operator chain hanging off ``node``.
+
+    Mirrors ``Dispatcher._compile_fused_tail``: follow single-out edges
+    through non-queue operators; stop at queues, sinks, and fan-outs.
+    """
+    tail: List[Node] = []
+    out = graph.out_edges(node)
+    while len(out) == 1:
+        consumer = out[0].consumer
+        if not consumer.is_operator or consumer.is_queue:
+            break
+        tail.append(consumer)
+        out = graph.out_edges(consumer)
+    return tail
+
+
+@rule("AN008", "fused-chain eligibility diagnostics")
+def check_fusion(context: LintContext) -> Iterable[Finding]:
+    """Report fusable chains and queues that needlessly split them.
+
+    The dispatcher fuses straight-line virtual-operator segments into
+    one call per stage per batch.  This rule surfaces (a) the chains
+    that will fuse (INFO — so perf work can see the hot-path shape) and
+    (b) queues whose producer and consumer sit in the *same* partition:
+    an intra-VO queue splits a fusable chain and pays enqueue/dequeue
+    synchronization inside what is one thread's work anyway.
+    """
+    graph = context.graph
+    in_some_tail: Set[Node] = set()
+    tails: Dict[Node, List[Node]] = {}
+    for node in graph.nodes:
+        if not node.is_operator or node.is_queue:
+            continue
+        tail = _fused_tail(graph, node)
+        tails[node] = tail
+        in_some_tail.update(tail)
+    for node, tail in tails.items():
+        if not tail or node in in_some_tail:
+            continue  # only report maximal chains, from their head
+        yield Finding(
+            rule="AN008",
+            severity=Severity.INFO,
+            message=(
+                f"straight-line chain of {1 + len(tail)} operators fuses "
+                "into one dispatch per batch"
+            ),
+            nodes=_names([node] + tail),
+            fix_hint="",
+        )
+    if context.partitioning is None:
+        return
+    partitioning = context.partitioning
+    for queue_node in graph.queues():
+        in_edges = graph.in_edges(queue_node)
+        out_edges = graph.out_edges(queue_node)
+        if len(in_edges) != 1 or len(out_edges) != 1:
+            continue  # AN006 already reports malformed boundaries
+        producer = in_edges[0].producer
+        consumer = out_edges[0].consumer
+        if partitioning.same_partition(producer, consumer):
+            yield Finding(
+                rule="AN008",
+                severity=Severity.WARNING,
+                message=(
+                    f"queue {queue_node.name!r} splits partition "
+                    f"{partitioning.partition_of(producer).name!r} "
+                    "internally; it blocks chain fusion and pays "
+                    "synchronization within a single thread's work"
+                ),
+                nodes=_names((producer, queue_node, consumer)),
+                fix_hint=(
+                    "drain and remove it (engine.remove_queue_runtime / "
+                    "graph.remove_queue) or move one endpoint to another "
+                    "partition"
+                ),
+            )

@@ -1,0 +1,396 @@
+"""Runtime concurrency sanitizer: lock order, state ownership, starvation.
+
+The real-thread engine has four interacting lock domains (per-node
+dispatcher locks, queue locks, scheduler unit conditions, the counter
+lock).  This module provides the instrumentation that proves — at
+runtime, on the actual interleavings of a test run — that they compose
+safely:
+
+* :class:`SanitizedLock` — a drop-in ``threading.Lock`` wrapper that
+  feeds a global **lock-acquisition-order graph**.  Acquiring B while
+  holding A records the edge A→B *before* blocking, so a cycle
+  (potential deadlock) is reported even when the threads then actually
+  deadlock.  Reports carry both stacks: the one that recorded the
+  conflicting edge and the one closing the cycle.
+* an **ownership / happens-before checker** — flags operator-state
+  access from a second thread when the dispatcher runs with
+  ``locking=False`` (i.e. no node lock can be protecting the state).
+* a **starvation watchdog** for the level-3 thread scheduler — asserts
+  that no ready unit keeps waiting while more than ``N`` grants go to
+  other units.
+
+Everything funnels into one :class:`ConcurrencySanitizer`, whose
+findings reuse the linter's :class:`~repro.analysis.findings.Finding`
+shape.  The sanitizer is only ever constructed when
+``EngineConfig.sanitize`` is set — with it off, no wrapper objects
+exist and the hot path is untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.errors import SanitizerError
+
+__all__ = [
+    "ConcurrencySanitizer",
+    "SanitizedLock",
+    "StarvationWatchdog",
+]
+
+
+def _capture_stack(skip: int = 2) -> str:
+    """The current call stack, rendered, minus ``skip`` inner frames."""
+    frames = traceback.extract_stack()[:-skip]
+    return "".join(traceback.format_list(frames)).rstrip()
+
+
+@dataclass(frozen=True)
+class _OrderEdge:
+    """First observation of 'held ``src``, then acquired ``dst``'."""
+
+    thread: str
+    stack: str
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` that reports acquisition order to a sanitizer.
+
+    Supports the context-manager protocol and explicit
+    ``acquire``/``release``, like the lock it wraps.  The order edge is
+    recorded *before* the underlying acquire blocks, so potential
+    deadlocks are reported even when they then really occur.
+    """
+
+    __slots__ = ("name", "_lock", "_sanitizer")
+
+    def __init__(self, sanitizer: "ConcurrencySanitizer", name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._before_acquire(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._note_held(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer._note_released(self.name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SanitizedLock {self.name!r}>"
+
+
+class StarvationWatchdog:
+    """Asserts every waiting scheduler unit is granted within ``bound`` grants.
+
+    The level-3 thread scheduler calls :meth:`on_wait` when a unit
+    starts waiting, :meth:`on_grant_event` after each grant-set
+    computation, and :meth:`on_granted` when a unit receives its
+    permit.  A unit that stays waiting while more than ``bound`` grants
+    go to other units is reported as starved — the aging mechanism
+    (paper Section 4.2.2) is supposed to make that impossible.
+    """
+
+    def __init__(self, sanitizer: "ConcurrencySanitizer", bound: int) -> None:
+        if bound < 1:
+            raise SanitizerError("starvation bound must be >= 1")
+        self._sanitizer = sanitizer
+        self.bound = bound
+        self._mutex = threading.Lock()
+        self._missed: Dict[str, int] = {}
+        self._reported: Set[str] = set()
+
+    def on_wait(self, unit_id: str) -> None:
+        """A unit started waiting at the scheduler gate."""
+        with self._mutex:
+            self._missed[unit_id] = 0
+            self._reported.discard(unit_id)
+
+    def on_granted(self, unit_id: str) -> None:
+        """A waiting unit received its permit."""
+        with self._mutex:
+            self._missed.pop(unit_id, None)
+
+    def on_grant_event(
+        self, granted: Tuple[str, ...], waiting: Tuple[str, ...]
+    ) -> None:
+        """Grants were handed out while ``waiting`` units kept waiting."""
+        if not granted:
+            return
+        starved: List[Tuple[str, int]] = []
+        with self._mutex:
+            for unit_id in waiting:
+                missed = self._missed.get(unit_id, 0) + len(granted)
+                self._missed[unit_id] = missed
+                if missed > self.bound and unit_id not in self._reported:
+                    self._reported.add(unit_id)
+                    starved.append((unit_id, missed))
+        for unit_id, missed in starved:
+            self._sanitizer._report(
+                Finding(
+                    rule="SAN003",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"scheduler unit {unit_id!r} starved: still waiting "
+                        f"after {missed} grants went to other units "
+                        f"(bound {self.bound})"
+                    ),
+                    nodes=(unit_id,),
+                    fix_hint=(
+                        "check the unit's base priority and the scheduler's "
+                        "aging_ns; aging must eventually outgrow any "
+                        "priority gap"
+                    ),
+                )
+            )
+
+
+class ConcurrencySanitizer:
+    """Collects concurrency findings from instrumented runtime hooks.
+
+    Args:
+        starvation_grant_bound: ``N`` for the scheduler watchdog —
+            every ready unit must be granted within N grants.
+
+    Thread safety: all public methods may be called from any thread.
+    """
+
+    def __init__(self, starvation_grant_bound: int = 1000) -> None:
+        self._mutex = threading.Lock()
+        self._findings: List[Finding] = []
+        # Lock-order graph over lock names: adjacency + first-observation
+        # info (thread and stack) per edge.
+        self._order_edges: Dict[Tuple[str, str], _OrderEdge] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+        self._reported_cycles: Set[Tuple[str, ...]] = set()
+        # Ownership map for the happens-before checker: state key ->
+        # (thread id, thread name, first-access stack).
+        self._state_owner: Dict[object, Tuple[int, str, str]] = {}
+        self._reported_races: Set[Tuple[object, int]] = set()
+        # Per-thread list of sanitized locks currently held.
+        self._held = threading.local()
+        self.watchdog = StarvationWatchdog(self, starvation_grant_bound)
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    @property
+    def findings(self) -> List[Finding]:
+        """Snapshot of all findings reported so far."""
+        with self._mutex:
+            return list(self._findings)
+
+    def clear(self) -> None:
+        """Drop accumulated findings (order/ownership history is kept)."""
+        with self._mutex:
+            self._findings.clear()
+
+    def raise_if_findings(self) -> None:
+        """Raise :class:`SanitizerError` when any finding was reported."""
+        findings = self.findings
+        if findings:
+            summary = "\n".join(finding.format() for finding in findings)
+            raise SanitizerError(
+                f"concurrency sanitizer reported {len(findings)} finding(s):\n"
+                f"{summary}"
+            )
+
+    def _report(self, finding: Finding) -> None:
+        with self._mutex:
+            self._findings.append(finding)
+
+    # ------------------------------------------------------------------
+    # Lock construction and lock-order tracking
+    # ------------------------------------------------------------------
+    def make_lock(self, name: str) -> SanitizedLock:
+        """A new instrumented lock participating in order tracking."""
+        return SanitizedLock(self, name)
+
+    def _held_names(self) -> List[str]:
+        held = getattr(self._held, "names", None)
+        if held is None:
+            held = []
+            self._held.names = held
+        return held
+
+    def _before_acquire(self, name: str) -> None:
+        held = self._held_names()
+        if not held:
+            return
+        thread = threading.current_thread().name
+        stack = _capture_stack(skip=3)
+        for held_name in held:
+            if held_name == name:
+                continue
+            self._record_edge(held_name, name, thread, stack)
+
+    def _note_held(self, name: str) -> None:
+        self._held_names().append(name)
+
+    def _note_released(self, name: str) -> None:
+        held = self._held_names()
+        if name in held:
+            held.remove(name)
+
+    def _record_edge(
+        self, src: str, dst: str, thread: str, stack: str
+    ) -> None:
+        with self._mutex:
+            key = (src, dst)
+            is_new = key not in self._order_edges
+            if is_new:
+                self._order_edges[key] = _OrderEdge(thread=thread, stack=stack)
+                self._adjacency.setdefault(src, set()).add(dst)
+            path = self._find_cycle(dst, src) if is_new else None
+            if not path:
+                return
+            # path = [dst, ..., src]; the full cycle is src -> dst -> ... -> src.
+            cycle_nodes = [src] + path[:-1]
+            canonical = self._canonical_cycle(cycle_nodes)
+            if canonical in self._reported_cycles:
+                return
+            self._reported_cycles.add(canonical)
+            detail_parts = [
+                f"edge {src!r} -> {dst!r} closed the cycle in thread "
+                f"{thread!r}:\n{stack}"
+            ]
+            for edge_src, edge_dst in zip(path, path[1:]):
+                info = self._order_edges.get((edge_src, edge_dst))
+                if info is not None:
+                    detail_parts.append(
+                        f"edge {edge_src!r} -> {edge_dst!r} first recorded "
+                        f"in thread {info.thread!r}:\n{info.stack}"
+                    )
+            finding = Finding(
+                rule="SAN001",
+                severity=Severity.ERROR,
+                message=(
+                    "lock-acquisition-order cycle (potential deadlock): "
+                    + " -> ".join(cycle_nodes + [src])
+                ),
+                nodes=tuple(cycle_nodes),
+                fix_hint=(
+                    "make every code path acquire these locks in one "
+                    "global order, or restructure so at most one is held "
+                    "at a time"
+                ),
+                detail="\n\n".join(detail_parts),
+            )
+            self._findings.append(finding)
+
+    def _find_cycle(self, start: str, target: str) -> Optional[List[str]]:
+        """A path ``start -> ... -> target`` in the order graph, if any.
+
+        Called with the sanitizer mutex held.  Returns the node list of
+        the path (starting at ``start``), or None.
+        """
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        visited: Set[str] = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == target:
+                return path
+            for nxt in self._adjacency.get(node, ()):
+                if nxt == target:
+                    return path + [nxt]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    @staticmethod
+    def _canonical_cycle(nodes: List[str]) -> Tuple[str, ...]:
+        """Rotation-invariant representation of a cycle's node list."""
+        if not nodes:
+            return ()
+        pivot = min(range(len(nodes)), key=lambda i: nodes[i])
+        return tuple(nodes[pivot:] + nodes[:pivot])
+
+    # ------------------------------------------------------------------
+    # Ownership / happens-before checking
+    # ------------------------------------------------------------------
+    def check_unlocked_access(self, key: object, label: str) -> None:
+        """Record an unlocked state access; flag cross-thread accesses.
+
+        Called by the dispatcher around operator invocations when it
+        runs with ``locking=False`` — i.e. no node lock can be
+        serializing the operator's state.  The first accessing thread
+        becomes the owner; any later access from a different thread has
+        no happens-before edge to the owner's accesses and is reported
+        as a data race.
+        """
+        ident = threading.get_ident()
+        thread_name = threading.current_thread().name
+        with self._mutex:
+            owner = self._state_owner.get(key)
+            if owner is None:
+                self._state_owner[key] = (
+                    ident,
+                    thread_name,
+                    _capture_stack(skip=3),
+                )
+                return
+            owner_ident, owner_name, owner_stack = owner
+            if owner_ident == ident:
+                return
+            race_key = (key, ident)
+            if race_key in self._reported_races:
+                return
+            self._reported_races.add(race_key)
+            self._findings.append(
+                Finding(
+                    rule="SAN002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"operator state of {label!r} accessed from thread "
+                        f"{thread_name!r} after thread {owner_name!r}, with "
+                        "locking disabled — unsynchronized shared state"
+                    ),
+                    nodes=(label,),
+                    fix_hint=(
+                        "construct the Dispatcher with locking=True whenever "
+                        "several threads can reach the same node, or pin the "
+                        "node's queue group to a single scheduler unit"
+                    ),
+                    detail=(
+                        f"first access in thread {owner_name!r}:\n"
+                        f"{owner_stack}\n\n"
+                        f"conflicting access in thread {thread_name!r}:\n"
+                        f"{_capture_stack(skip=3)}"
+                    ),
+                )
+            )
+
+    def forget_owner(self, key: object) -> None:
+        """Drop the recorded owner for ``key`` (e.g. after a handoff).
+
+        Engines may call this at a synchronization point that
+        establishes a happens-before edge (a pause/resume barrier), so
+        a deliberate ownership transfer is not misreported.
+        """
+        with self._mutex:
+            self._state_owner.pop(key, None)

@@ -57,7 +57,20 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import nullcontext
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizer import ConcurrencySanitizer
 
 from repro.errors import SchedulingError
 from repro.graph.node import Node
@@ -89,6 +102,10 @@ _DEFAULT_POP_CHUNK = 64
 # segment's last stage.
 _PlanEntry = Tuple[int, object, tuple, tuple, Optional[tuple]]
 
+#: A per-node lock: a plain ``threading.Lock`` or, under the sanitizer,
+#: an instrumented :class:`repro.analysis.sanitizer.SanitizedLock`.
+_NodeLock = ContextManager[object]
+
 
 class Dispatcher:
     """Executes DI chain reactions and end-of-stream propagation.
@@ -104,6 +121,15 @@ class Dispatcher:
         locking: Serialize per-node operator access and counter updates;
             required whenever several threads may reach the same node
             (OTS, multi-source DI).
+        sanitizer: Optional concurrency sanitizer
+            (:class:`repro.analysis.sanitizer.ConcurrencySanitizer`).
+            With ``locking=True`` the per-node locks become instrumented
+            locks feeding the global lock-order graph; with
+            ``locking=False`` every operator invocation is checked by
+            the ownership/happens-before checker instead (a second
+            thread touching a node's state without a node lock is a
+            data race).  None (the default) constructs no wrappers and
+            leaves the hot path untouched.
     """
 
     def __init__(
@@ -111,20 +137,35 @@ class Dispatcher:
         graph: QueryGraph,
         stats: Optional[StatisticsRegistry] = None,
         locking: bool = False,
+        sanitizer: Optional["ConcurrencySanitizer"] = None,
     ) -> None:
         self.graph = graph
         self.stats = stats
         #: Number of elements delivered to sinks so far.
-        self.sink_deliveries = 0
+        self.sink_deliveries: int = 0
         #: Number of elements processed by operator invocations so far
         #: (a batch invocation counts once per element it carries).
-        self.invocations = 0
+        self.invocations: int = 0
         # Per-node locks: operators are not thread-safe, and under OTS or
         # multi-source DI the same operator can be reached from several
         # threads at once (e.g. a join fed by two autonomous sources).
+        #
+        # The lock map is pre-populated for every graph node at plan
+        # (re)compilation and treated as immutable afterwards: the rare
+        # late additions (capture sinks that are not graph nodes) go
+        # through a guarded copy-and-swap, so the unguarded fast-path
+        # read in _lock_for never observes a dict under mutation.
         self._locking = locking
-        self._locks: dict[Node, "threading.Lock"] = {}
+        self._sanitizer = sanitizer
+        self._access_check: Optional[Callable[[object, str], None]] = (
+            sanitizer.check_unlocked_access
+            if (sanitizer is not None and not locking)
+            else None
+        )
+        self._locks: Dict[Node, _NodeLock] = {}
         self._locks_guard = threading.Lock() if locking else None
+        if locking:
+            self._prime_locks()
         # Counter lock: without it, concurrent `+= 1` from several
         # worker threads loses increments and EngineReport.invocations
         # under-counts on multi-core runs.
@@ -145,6 +186,11 @@ class Dispatcher:
         if plan_generation != generation:
             plan = {}
             self._plan = (generation, plan)
+            if self._locking:
+                # Keep the lock map keyed on plan compilation: a queue
+                # splice introduces new nodes, which get their locks here
+                # instead of on first contention.
+                self._prime_locks()
         entry = plan.get(node)
         if entry is None:
             entry = self._compile_node(node)
@@ -430,13 +476,48 @@ class Dispatcher:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _lock_for(self, node: Node):
+    def _new_lock(self, node: Node) -> _NodeLock:
+        if self._sanitizer is not None:
+            return self._sanitizer.make_lock(f"node:{node.name}")
+        return threading.Lock()
+
+    def _prime_locks(self) -> None:
+        """Publish a lock map covering every current graph node.
+
+        Runs at construction and at every plan recompilation.  The map
+        is replaced wholesale (copy-and-swap under the guard), never
+        mutated in place, so concurrent readers always see a complete,
+        stable dict.
+        """
+        assert self._locks_guard is not None
+        with self._locks_guard:
+            locks = dict(self._locks)
+            for node in self.graph.nodes:
+                if node not in locks:
+                    locks[node] = self._new_lock(node)
+            self._locks = locks
+
+    def _lock_for(self, node: Node) -> ContextManager[object]:
         if not self._locking:
             return nullcontext()
+        # Fast path: an unguarded read of a dict that is only ever
+        # replaced (copy-and-swap), never mutated in place — pre-
+        # populated at plan compilation for all graph nodes.
         lock = self._locks.get(node)
         if lock is None:
-            with self._locks_guard:
-                lock = self._locks.setdefault(node, threading.Lock())
+            lock = self._add_lock(node)
+        return lock
+
+    def _add_lock(self, node: Node) -> _NodeLock:
+        """Slow path for nodes outside the graph (e.g. capture sinks)."""
+        assert self._locks_guard is not None
+        with self._locks_guard:
+            lock = self._locks.get(node)
+            if lock is None:
+                lock = self._new_lock(node)
+                locks = dict(self._locks)
+                locks[node] = lock
+                self._locks = locks
         return lock
 
     def _count_invocations(self, n: int) -> None:
@@ -459,6 +540,10 @@ class Dispatcher:
         self, node: Node, element: StreamElement, port: int
     ) -> List[StreamElement]:
         self._count_invocations(1)
+        if self._access_check is not None:
+            # locking=False under the sanitizer: no node lock serializes
+            # this operator, so a second thread here is a data race.
+            self._access_check(node, node.name)
         with self._lock_for(node):
             if self.stats is None:
                 return node.operator.process(element, port)
@@ -472,6 +557,8 @@ class Dispatcher:
         self, node: Node, elements: List[StreamElement], port: int
     ) -> List[StreamElement]:
         self._count_invocations(len(elements))
+        if self._access_check is not None:
+            self._access_check(node, node.name)
         with self._lock_for(node):
             if self.stats is None:
                 return node.operator.process_batch(elements, port)

@@ -31,7 +31,10 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizer import ConcurrencySanitizer
 
 from repro.core.dataflow import Dispatcher
 from repro.core.modes import EngineConfig, PartitionSpec, SchedulingMode
@@ -103,7 +106,20 @@ class ThreadedEngine:
             )
         self.graph = graph
         self.config = config
-        self.dispatcher = Dispatcher(graph, stats=stats, locking=True)
+        #: The concurrency sanitizer, when ``config.sanitize`` is set.
+        #: None otherwise — off-mode constructs no instrumentation.
+        self.sanitizer: Optional["ConcurrencySanitizer"] = None
+        if config.sanitize:
+            # Imported lazily: the sanitizer (and its findings model)
+            # stays entirely out of unsanitized engine runs.
+            from repro.analysis.sanitizer import ConcurrencySanitizer
+
+            self.sanitizer = ConcurrencySanitizer(
+                starvation_grant_bound=config.sanitize_starvation_grants
+            )
+        self.dispatcher = Dispatcher(
+            graph, stats=stats, locking=True, sanitizer=self.sanitizer
+        )
         self._threads: List[threading.Thread] = []
         self._abort = threading.Event()
         self._resume = threading.Event()
@@ -129,6 +145,9 @@ class ThreadedEngine:
             self.thread_scheduler = ThreadScheduler(
                 max_concurrency=config.max_concurrency,
                 aging_ns=config.aging_ns,
+                watchdog=(
+                    self.sanitizer.watchdog if self.sanitizer is not None else None
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -171,6 +190,9 @@ class ThreadedEngine:
             raise SchedulingError(
                 f"engine thread {name!r} failed: {error!r}"
             ) from error
+        if self.sanitizer is not None:
+            # A sanitized run must be concurrency-clean end to end.
+            self.sanitizer.raise_if_findings()
         return self._report(samples, aborted=not finished)
 
     def start(self) -> None:

@@ -22,6 +22,7 @@ are then just factory functions:
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -106,6 +107,17 @@ class EngineConfig:
             full speed.
         time_scale: Real seconds per timestamp second when pacing
             (0.1 = 10x fast-forward).
+        sanitize: Run the engine under the concurrency sanitizer
+            (:mod:`repro.analysis.sanitizer`): dispatcher node locks
+            become lock-order-tracked instrumented locks, the level-3
+            scheduler gets a starvation watchdog, and the run fails
+            with :class:`~repro.errors.SanitizerError` if any finding
+            is reported.  Defaults to the ``REPRO_SANITIZE``
+            environment variable (unset/0 = off), so CI can re-run a
+            test subset sanitized without touching call sites.  When
+            off, no instrumentation objects are constructed at all.
+        sanitize_starvation_grants: Watchdog bound ``N``: every ready
+            unit must be granted within N grants to other units.
     """
 
     mode: SchedulingMode
@@ -116,6 +128,10 @@ class EngineConfig:
     batch_size: Optional[int] = None
     pace_sources: bool = False
     time_scale: float = 1.0
+    sanitize: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    )
+    sanitize_starvation_grants: int = 1000
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size < 1:

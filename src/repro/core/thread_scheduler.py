@@ -36,9 +36,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import SchedulingError
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizer import StarvationWatchdog
 
 __all__ = ["ThreadScheduler"]
 
@@ -68,12 +71,19 @@ class ThreadScheduler:
         aging_ns: Waiting time that buys one unit of effective priority;
             smaller values approach FIFO fairness, larger values
             approach strict priorities.  Must be positive.
+        watchdog: Optional starvation watchdog
+            (:class:`repro.analysis.sanitizer.StarvationWatchdog`).
+            When set, every grant event is reported to it so a unit
+            left waiting while more than its bound of grants go to
+            other units produces a sanitizer finding.  None (default)
+            adds no per-grant work.
     """
 
     def __init__(
         self,
         max_concurrency: Optional[int] = None,
         aging_ns: float = 50_000_000.0,
+        watchdog: Optional["StarvationWatchdog"] = None,
     ) -> None:
         if max_concurrency is not None and max_concurrency < 1:
             raise SchedulingError("max_concurrency must be >= 1 or None")
@@ -81,6 +91,7 @@ class ThreadScheduler:
             raise SchedulingError("aging_ns must be positive")
         self._max_concurrency = max_concurrency
         self._aging_ns = aging_ns
+        self._watchdog = watchdog
         self._lock = threading.Lock()
         self._units: Dict[str, _UnitState] = {}
         self._running = 0
@@ -148,6 +159,8 @@ class ThreadScheduler:
                 self._running += 1
                 return True
             state.waiting_since_ns = time.monotonic_ns()
+            if self._watchdog is not None:
+                self._watchdog.on_wait(unit_id)
             self._regrant()
             while True:
                 if self._stopped:
@@ -245,8 +258,19 @@ class ThreadScheduler:
             ),
             reverse=True,
         )
+        granted: list[str] = []
         for _, uid in ranked[:free]:
             state = self._units[uid]
             state.granted = True
             self._granted += 1
             state.condition.notify()
+            granted.append(uid)
+        if self._watchdog is not None and granted:
+            still_waiting = tuple(
+                uid
+                for uid, state in self._units.items()
+                if state.waiting_since_ns is not None and not state.granted
+            )
+            for uid in granted:
+                self._watchdog.on_granted(uid)
+            self._watchdog.on_grant_event(tuple(granted), still_waiting)

@@ -133,6 +133,9 @@ class VirtualOperator:
         dispatcher.inject(edge.consumer, element, edge.port)
         return captured.captured
 
+    # Covered by tests/test_virtual_operator.py (fused DI == per-element DI).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], entry: int = 0
     ) -> List[Tuple[Edge, StreamElement]]:

@@ -56,6 +56,14 @@ class VirtualOperatorError(ReproError):
     """Virtual-operator construction failed (e.g. non-tree pull VO)."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis was misused (unknown rule, bad lint target, ...)."""
+
+
+class SanitizerError(AnalysisError):
+    """The runtime concurrency sanitizer reported findings."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency."""
 

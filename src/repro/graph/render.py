@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.graph.node import Node
 from repro.graph.query_graph import QueryGraph
 
@@ -91,7 +92,8 @@ def to_dot(
             label = f"VO {index}"
             try:
                 label += f" (cap={vo.capacity_ns() / 1e3:.1f}us)"
-            except Exception:  # annotations missing: plain label
+            except ReproError:
+                # Cost/rate annotations missing: keep the plain label.
                 pass
             lines.append(f'    label="{_dot_escape(label)}";')
             lines.append('    style=dashed; color="#888888";')

@@ -101,6 +101,9 @@ class WindowedAggregate(Operator):
         payload = result if self._key_fn is None else (group, result)
         return [element.with_value(payload)]
 
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:
@@ -200,6 +203,9 @@ class IncrementalAggregate(Operator):
         else:  # avg
             result = self._sum / count
         return [element.with_value(result)]
+
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
 
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0

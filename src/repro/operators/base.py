@@ -41,9 +41,22 @@ class Operator:
         declared_selectivity: Optional nominal output/input ratio,
             consumed by rate propagation (for ``d(v)`` of successors)
             and by the Chain strategy's progress charts.
+        batch_equivalence_tested: Class-level marker declaring that the
+            class's :meth:`process_batch` override is covered by a
+            scalar-equivalence test (batch output bit-identical to the
+            element-wise loop).  Checked by lint rule AN007: every
+            class that overrides ``process_batch`` must set this to
+            True *on the overriding class itself*, next to the property
+            test that justifies it.
+        blocking: Class-level marker for operators that can stall the
+            thread driving them (e.g. a join holding back results until
+            the opposite window fills).  Consumed by lint rule AN005
+            (stall avoidance) and by partitioning heuristics.
     """
 
     arity: int = 1
+    batch_equivalence_tested: bool = False
+    blocking: bool = False
 
     def __init__(
         self,
@@ -158,6 +171,9 @@ class StatelessOperator(Operator):
     Subclasses implement :meth:`apply`, mapping one element to zero or
     more output elements.
     """
+
+    # Covered by tests/test_batch_semantics.py (batch ≡ scalar property).
+    batch_equivalence_tested = True
 
     def apply(self, element: StreamElement) -> Iterable[StreamElement]:
         """Map one input element to its outputs."""

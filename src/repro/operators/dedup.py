@@ -70,6 +70,9 @@ class WindowedDistinct(Operator):
         self.forwarded += 1
         return [element]
 
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:

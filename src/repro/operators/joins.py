@@ -37,6 +37,9 @@ class _WindowedJoin(Operator):
     """Shared machinery: per-side sliding windows and end handling."""
 
     arity = 2
+    # A join can only emit once the opposite window has content, so a
+    # thread driving one input can stall behind the other (AN005).
+    blocking = True
 
     def __init__(
         self,
@@ -135,6 +138,9 @@ class SymmetricHashJoin(_WindowedJoin):
             self._index[port][key] = own_bucket = deque()
         own_bucket.append(element)
         return outputs
+
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
 
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
@@ -273,6 +279,9 @@ class SymmetricNestedLoopsJoin(_WindowedJoin):
                 outputs.append(self._emit(element, port, candidate))
         self._windows[port].append(element)
         return outputs
+
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
 
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0

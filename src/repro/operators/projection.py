@@ -36,6 +36,9 @@ class MapOperator(StatelessOperator):
     def apply(self, element: StreamElement) -> Iterable[StreamElement]:
         yield element.with_value(self._fn(element.value))
 
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:

@@ -68,6 +68,9 @@ class QueueOperator(Operator):
         self.push(element)
         return []
 
+    # Covered by tests/test_batch_semantics.py (bulk transfer == per-element).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:

@@ -42,6 +42,9 @@ class Selection(StatelessOperator):
         if self._predicate(element.value):
             yield element
 
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:
@@ -83,6 +86,9 @@ class SimulatedSelection(StatelessOperator):
         self._seen += 1
         if math.floor((n + 1) * self.selectivity) > math.floor(n * self.selectivity):
             yield element
+
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
 
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0

@@ -39,6 +39,9 @@ class Union(Operator):
         self._guard(port)
         return [element]
 
+    # Covered by tests/test_batch_semantics.py (batch == scalar property).
+    batch_equivalence_tested = True
+
     def process_batch(
         self, elements: Sequence[StreamElement], port: int = 0
     ) -> List[StreamElement]:

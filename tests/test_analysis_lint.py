@@ -1,0 +1,449 @@
+"""Tests for the static query-graph linter (repro.analysis).
+
+Every rule gets a pair of fixtures: a graph that violates it (the rule
+must fire) and a minimally fixed twin (the rule must stay silent).
+"""
+
+import pytest
+
+from repro.analysis import RULES, Finding, Severity, lint_graph, worst_severity
+from repro.analysis.lint import main as lint_main
+from repro.core.partition import Partition, Partitioning
+from repro.graph.node import Node, NodeKind
+from repro.graph.query_graph import Edge, QueryGraph
+from repro.operators.base import Operator
+from repro.operators.joins import SymmetricHashJoin
+from repro.operators.queue_op import QueueOperator
+from repro.operators.selection import Selection
+from repro.operators.union import Union
+from repro.streams.sinks import CollectingSink, CountingSink
+from repro.streams.sources import ListSource
+
+
+def rule_findings(findings, rule_id):
+    return [finding for finding in findings if finding.rule == rule_id]
+
+
+def simple_chain(n_ops=1):
+    """source -> n selections -> sink; returns (graph, [op nodes])."""
+    graph = QueryGraph()
+    src = graph.add_source(ListSource([1, 2, 3]), name="src")
+    ops = []
+    prev = src
+    for index in range(n_ops):
+        op = graph.add_operator(Selection(lambda v: True), name=f"sel{index}")
+        graph.connect(prev, op)
+        ops.append(op)
+        prev = op
+    sink = graph.add_sink(CollectingSink(), name="sink")
+    graph.connect(prev, sink)
+    return graph, ops
+
+
+def force_edge(graph, producer, consumer, port=0):
+    """Add an edge bypassing connect()'s cycle/port checks.
+
+    The linter exists precisely for graphs that were not built through
+    the guarded frontend (deserialized, foreign builders), so tests
+    construct such graphs directly.
+    """
+    edge = Edge(producer, consumer, port)
+    graph._out[producer].append(edge)
+    graph._in[consumer][port] = edge
+    graph._generation += 1
+    return edge
+
+
+class TestAN001PartitionBoundaries:
+    def build(self, decoupled):
+        graph, (a, b) = simple_chain(2)
+        if decoupled:
+            graph.insert_queue(graph.find_edge(a, b))
+        partitioning = Partitioning(
+            [Partition([a], name="left"), Partition([b], name="right")]
+        )
+        return graph, partitioning
+
+    def test_crossing_edge_without_queue_fires(self):
+        graph, partitioning = self.build(decoupled=False)
+        findings = rule_findings(
+            lint_graph(graph, partitioning, rules=["AN001"]), "AN001"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].nodes == ("sel0", "sel1")
+        assert "queue" in findings[0].fix_hint
+
+    def test_decoupled_twin_is_silent(self):
+        graph, partitioning = self.build(decoupled=True)
+        assert lint_graph(graph, partitioning, rules=["AN001"]) == []
+
+    def test_skipped_without_partitioning(self):
+        graph, _ = self.build(decoupled=False)
+        assert lint_graph(graph, rules=["AN001"]) == []
+
+
+class TestAN002DICycles:
+    def build(self, decoupled):
+        """src -> union(p0) -> sel, with a sel -> union(p1) back edge."""
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        union = graph.add_operator(Union(arity=2), name="union")
+        sel = graph.add_operator(Selection(lambda v: True), name="sel")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, union, port=0)
+        graph.connect(union, sel)
+        graph.connect(sel, sink)
+        if decoupled:
+            queue = graph.add_node(
+                Node(NodeKind.OPERATOR, QueueOperator(name="back-queue"))
+            )
+            graph.connect(sel, queue)
+            force_edge(graph, queue, union, port=1)
+        else:
+            force_edge(graph, sel, union, port=1)
+        return graph
+
+    def test_cycle_in_queue_free_region_fires(self):
+        findings = rule_findings(
+            lint_graph(self.build(decoupled=False), rules=["AN002"]), "AN002"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert set(findings[0].nodes) == {"union", "sel"}
+
+    def test_queue_decoupled_cycle_is_silent(self):
+        assert lint_graph(self.build(decoupled=True), rules=["AN002"]) == []
+
+    def test_partitioned_cycle_names_the_partition(self):
+        graph = self.build(decoupled=False)
+        nodes = {node.name: node for node in graph.nodes}
+        partitioning = Partitioning(
+            [Partition([nodes["union"], nodes["sel"]], name="vo0")]
+        )
+        findings = lint_graph(graph, partitioning, rules=["AN002"])
+        assert len(findings) == 1
+        assert "vo0" in findings[0].message
+
+
+class TestAN003Orphans:
+    def test_disconnected_operator_fires_both_ways(self):
+        graph, _ = simple_chain(1)
+        graph.add_operator(Selection(lambda v: True), name="stray")
+        findings = rule_findings(lint_graph(graph, rules=["AN003"]), "AN003")
+        messages = " / ".join(finding.message for finding in findings)
+        assert len(findings) == 2
+        assert "unreachable from every source" in messages
+        assert "cannot reach any sink" in messages
+        assert all(f.nodes == ("stray",) for f in findings)
+
+    def test_connected_twin_is_silent(self):
+        graph, _ = simple_chain(1)
+        assert lint_graph(graph, rules=["AN003"]) == []
+
+
+class TestAN004EndReachability:
+    def build(self, connect_second):
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        union = graph.add_operator(Union(arity=2), name="union")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, union, port=0)
+        graph.connect(union, sink)
+        if connect_second:
+            src2 = graph.add_source(ListSource([2]), name="src2")
+            graph.connect(src2, union, port=1)
+        return graph
+
+    def test_unconnected_port_fires(self):
+        findings = rule_findings(
+            lint_graph(self.build(connect_second=False), rules=["AN004"]),
+            "AN004",
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "port 1" in findings[0].message
+        assert "END_OF_STREAM" in findings[0].message
+
+    def test_fully_connected_twin_is_silent(self):
+        assert lint_graph(self.build(connect_second=True), rules=["AN004"]) == []
+
+    def test_dead_branch_feeding_a_port_fires(self):
+        graph = self.build(connect_second=False)
+        nodes = {node.name: node for node in graph.nodes}
+        dead = graph.add_operator(Selection(lambda v: True), name="dead")
+        graph.connect(dead, nodes["union"], port=1)
+        findings = rule_findings(lint_graph(graph, rules=["AN004"]), "AN004")
+        # The dead operator's own open port is reported too; the finding
+        # under test is the one naming the dead producer feeding union.
+        dead_feed = [f for f in findings if f.nodes == ("dead", "union")]
+        assert len(dead_feed) == 1
+        assert "no source reaches" in dead_feed[0].message
+
+
+class TestAN005StallAvoidance:
+    def build(self, decoupled):
+        """Two sources -> blocking join -> sel -> fan-out to two sinks."""
+        graph = QueryGraph()
+        left = graph.add_source(ListSource([1]), name="left")
+        right = graph.add_source(ListSource([2]), name="right")
+        join = graph.add_operator(SymmetricHashJoin(window_ns=100), name="join")
+        sel = graph.add_operator(Selection(lambda v: True), name="sel")
+        sink_a = graph.add_sink(CollectingSink(), name="sink-a")
+        sink_b = graph.add_sink(CountingSink(), name="sink-b")
+        graph.connect(left, join, port=0)
+        graph.connect(right, join, port=1)
+        graph.connect(join, sel)
+        graph.connect(sel, sink_a)
+        edge = graph.connect(sel, sink_b)
+        if decoupled:
+            graph.insert_queue(edge)
+        return graph
+
+    def test_blocking_upstream_of_queue_less_fan_out_fires(self):
+        findings = rule_findings(
+            lint_graph(self.build(decoupled=False), rules=["AN005"]), "AN005"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        # The path from the blocking operator down to the fan-out point.
+        assert findings[0].nodes == ("join", "sel")
+
+    def test_decoupled_branch_twin_is_silent(self):
+        assert lint_graph(self.build(decoupled=True), rules=["AN005"]) == []
+
+
+class TestAN006BoundaryShape:
+    def test_queue_fan_out_fires(self):
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        queue = graph.add_node(Node(NodeKind.OPERATOR, QueueOperator(name="q")))
+        sink_a = graph.add_sink(CollectingSink(), name="sink-a")
+        sink_b = graph.add_sink(CountingSink(), name="sink-b")
+        graph.connect(src, queue)
+        graph.connect(queue, sink_a)
+        graph.connect(queue, sink_b)
+        findings = rule_findings(lint_graph(graph, rules=["AN006"]), "AN006")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "2 consumers" in findings[0].message
+
+    def test_back_to_back_queues_fire(self):
+        graph, (op,) = simple_chain(1)
+        src = graph.sources()[0]
+        first = graph.insert_queue(graph.find_edge(src, op), name="q1")
+        graph.insert_queue(graph.find_edge(first, op), name="q2")
+        findings = rule_findings(lint_graph(graph, rules=["AN006"]), "AN006")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert findings[0].nodes == ("q1", "q2")
+
+    def test_point_to_point_twin_is_silent(self):
+        graph, (op,) = simple_chain(1)
+        graph.insert_queue(graph.find_edge(graph.sources()[0], op))
+        assert lint_graph(graph, rules=["AN006"]) == []
+
+
+class _UnmarkedBatch(Operator):
+    def process(self, element, port=0):
+        self._guard(port)
+        return [element]
+
+    def process_batch(self, elements, port=0):
+        self._guard(port)
+        return list(elements)
+
+
+class _MarkedBatch(_UnmarkedBatch):
+    batch_equivalence_tested = True
+
+    def process_batch(self, elements, port=0):
+        self._guard(port)
+        return list(elements)
+
+
+class TestAN007BatchMarkers:
+    def build(self, operator):
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        op = graph.add_operator(operator, name="op")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, op)
+        graph.connect(op, sink)
+        return graph
+
+    def test_unmarked_override_fires(self):
+        findings = rule_findings(
+            lint_graph(self.build(_UnmarkedBatch()), rules=["AN007"]), "AN007"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert "_UnmarkedBatch" in findings[0].message
+        assert "batch_equivalence_tested" in findings[0].fix_hint
+
+    def test_marked_twin_is_silent(self):
+        assert lint_graph(self.build(_MarkedBatch()), rules=["AN007"]) == []
+
+    def test_shipped_operators_are_all_marked(self):
+        graph, _ = simple_chain(3)
+        assert lint_graph(graph, rules=["AN007"]) == []
+
+    def test_marker_must_be_on_the_overriding_class(self):
+        # Inheriting the marker does not count: the subclass replaced
+        # the kernel the marker vouched for.
+        class Unvouched(_MarkedBatch):
+            def process_batch(self, elements, port=0):
+                self._guard(port)
+                return list(elements)
+
+        findings = lint_graph(self.build(Unvouched()), rules=["AN007"])
+        assert len(findings) == 1
+        assert "Unvouched" in findings[0].message
+
+
+class TestAN008Fusion:
+    def test_straight_chain_reports_info(self):
+        graph, _ = simple_chain(3)
+        findings = rule_findings(lint_graph(graph, rules=["AN008"]), "AN008")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert findings[0].nodes == ("sel0", "sel1", "sel2")
+
+    def test_intra_partition_queue_fires(self):
+        graph, (a, b) = simple_chain(2)
+        graph.insert_queue(graph.find_edge(a, b), name="q")
+        partitioning = Partitioning([Partition([a, b], name="vo0")])
+        findings = rule_findings(
+            lint_graph(graph, partitioning, rules=["AN008"]), "AN008"
+        )
+        warnings = [f for f in findings if f.severity is Severity.WARNING]
+        assert len(warnings) == 1
+        assert warnings[0].nodes == ("sel0", "q", "sel1")
+        assert "vo0" in warnings[0].message
+
+    def test_boundary_queue_twin_is_silent(self):
+        graph, (a, b) = simple_chain(2)
+        graph.insert_queue(graph.find_edge(a, b), name="q")
+        partitioning = Partitioning(
+            [Partition([a], name="left"), Partition([b], name="right")]
+        )
+        findings = lint_graph(graph, partitioning, rules=["AN008"])
+        assert [f for f in findings if f.severity is Severity.WARNING] == []
+
+
+class TestLintGraphAPI:
+    def test_unknown_rule_rejected(self):
+        graph, _ = simple_chain(1)
+        with pytest.raises(KeyError):
+            lint_graph(graph, rules=["AN999"])
+
+    def test_min_severity_filters(self):
+        graph, _ = simple_chain(3)
+        assert lint_graph(graph, min_severity=Severity.WARNING) == []
+        infos = lint_graph(graph, min_severity=Severity.INFO)
+        assert infos and all(f.severity is Severity.INFO for f in infos)
+
+    def test_findings_sorted_worst_first(self):
+        graph, _ = simple_chain(3)
+        graph.add_operator(Selection(lambda v: True), name="stray")
+        findings = lint_graph(graph)
+        severities = [int(f.severity) for f in findings]
+        assert severities == sorted(severities, reverse=True)
+        assert worst_severity(findings) is Severity.WARNING
+
+    def test_every_rule_documented(self):
+        for rule_id, lint_rule in RULES.items():
+            assert lint_rule.rule_id == rule_id
+            assert lint_rule.title
+            assert lint_rule.check.__doc__
+
+    def test_finding_format_and_dict_round_trip(self):
+        finding = Finding(
+            rule="AN001",
+            severity=Severity.ERROR,
+            message="boom",
+            nodes=("a", "b"),
+            fix_hint="fix it",
+        )
+        rendered = finding.format()
+        assert "AN001 error: boom [a -> b]" in rendered
+        assert "hint: fix it" in rendered
+        assert finding.to_dict()["severity"] == "error"
+
+
+class TestLintCLI:
+    def factory_file(self, tmp_path, body):
+        path = tmp_path / "graph_under_test.py"
+        path.write_text(body)
+        return str(path)
+
+    CLEAN = """
+from repro.graph.query_graph import QueryGraph
+from repro.operators.selection import Selection
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+def build_graph():
+    graph = QueryGraph(name="clean")
+    src = graph.add_source(ListSource([1]), name="src")
+    sel = graph.add_operator(Selection(lambda v: True), name="sel")
+    sink = graph.add_sink(CollectingSink(), name="sink")
+    graph.connect(src, sel)
+    graph.connect(sel, sink)
+    return graph
+"""
+
+    BROKEN = """
+from repro.graph.query_graph import QueryGraph
+from repro.operators.union import Union
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+def build_graph():
+    graph = QueryGraph(name="broken")
+    src = graph.add_source(ListSource([1]), name="src")
+    union = graph.add_operator(Union(arity=2), name="union")
+    sink = graph.add_sink(CollectingSink(), name="sink")
+    graph.connect(src, union, port=0)
+    graph.connect(union, sink)
+    return graph
+"""
+
+    def test_clean_graph_exits_zero(self, tmp_path, capsys):
+        target = self.factory_file(tmp_path, self.CLEAN)
+        assert lint_main([target]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_finding_fails(self, tmp_path, capsys):
+        target = self.factory_file(tmp_path, self.BROKEN)
+        assert lint_main([target]) == 1
+        assert "AN004" in capsys.readouterr().out
+
+    def test_fail_on_never(self, tmp_path):
+        target = self.factory_file(tmp_path, self.BROKEN)
+        assert lint_main([target, "--fail-on", "never"]) == 0
+
+    def test_rule_selection(self, tmp_path):
+        target = self.factory_file(tmp_path, self.BROKEN)
+        assert lint_main([target, "--rules", "AN003"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        target = self.factory_file(tmp_path, self.BROKEN)
+        assert lint_main([target, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report[0]["graph"] == "broken"
+        assert any(f["rule"] == "AN004" for f in report[0]["findings"])
+
+    def test_examples_discovery(self, tmp_path, capsys):
+        self.factory_file(tmp_path, self.CLEAN)
+        (tmp_path / "not_a_target.py").write_text("x = 1\n")
+        assert lint_main(["--examples", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "graph_under_test" in out
+        assert "not_a_target" not in out
+
+    def test_repo_examples_lint_clean_of_errors(self, capsys):
+        # The shipped example graphs must never regress to ERROR level.
+        assert lint_main(["--examples", "examples"]) == 0

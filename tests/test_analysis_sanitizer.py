@@ -1,0 +1,384 @@
+"""Tests for the runtime concurrency sanitizer (repro.analysis.sanitizer).
+
+Covers the three detectors (lock-order cycles, cross-thread state
+access, scheduler starvation), the engine/dispatcher integration under
+``EngineConfig.sanitize``, the zero-overhead off mode, and the
+lock-discipline regression for ``Dispatcher._lock_for``.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import ConcurrencySanitizer, SanitizedLock
+from repro.core.dataflow import Dispatcher
+from repro.core.engine import ThreadedEngine
+from repro.core.modes import EngineConfig, gts_config, ots_config
+from repro.errors import SanitizerError
+from repro.graph.builder import QueryBuilder
+from repro.graph.node import Node, NodeKind
+from repro.streams.elements import StreamElement
+from repro.streams.sinks import CollectingSink
+from repro.streams.sources import ListSource
+
+N = 120
+EXPECTED = [v for v in range(N) if v % 2 == 0]
+
+
+def selection_query(decouple=True):
+    build = QueryBuilder()
+    sink = CollectingSink()
+    (
+        build.source(ListSource(range(N)))
+        .where(lambda v: v % 2 == 0, name="sel", selectivity=0.5)
+        .map(lambda v: v, name="m")
+        .into(sink)
+    )
+    graph = build.graph()
+    if decouple:
+        graph.decouple_all()
+    return graph, sink
+
+
+def findings_for(sanitizer, rule):
+    return [f for f in sanitizer.findings if f.rule == rule]
+
+
+class TestLockOrderCycles:
+    def test_two_thread_opposite_order_deadlock_reported_within_5s(self):
+        """The seeded deadlock from the issue: two units, two node locks,
+        opposite acquisition order.  The order edge is recorded *before*
+        blocking, so the report appears even while the threads are
+        actually wedged against each other."""
+        sanitizer = ConcurrencySanitizer()
+        lock_a = sanitizer.make_lock("node:a")
+        lock_b = sanitizer.make_lock("node:b")
+        barrier = threading.Barrier(2, timeout=5)
+
+        def unit(first, second):
+            with first:
+                barrier.wait()
+                # Bounded acquire: the test must terminate even though
+                # the two threads genuinely deadlock here.
+                if second.acquire(timeout=2):
+                    second.release()
+
+        t1 = threading.Thread(target=unit, args=(lock_a, lock_b), daemon=True)
+        t2 = threading.Thread(target=unit, args=(lock_b, lock_a), daemon=True)
+        t1.start()
+        t2.start()
+        t1.join(timeout=5)
+        t2.join(timeout=5)
+        assert not t1.is_alive() and not t2.is_alive()
+        cycles = findings_for(sanitizer, "SAN001")
+        assert len(cycles) == 1
+        finding = cycles[0]
+        assert set(finding.nodes) == {"node:a", "node:b"}
+        assert "potential deadlock" in finding.message
+        # Both stacks are attached: the closing edge and the first
+        # recording of the conflicting edge.
+        assert finding.detail.count("first recorded") == 1
+        assert "closed the cycle" in finding.detail
+        with pytest.raises(SanitizerError, match="SAN001"):
+            sanitizer.raise_if_findings()
+
+    def test_single_thread_nesting_records_cycle_once(self):
+        sanitizer = ConcurrencySanitizer()
+        lock_a = sanitizer.make_lock("a")
+        lock_b = sanitizer.make_lock("b")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with lock_a:
+                    pass
+        assert len(findings_for(sanitizer, "SAN001")) == 1
+
+    def test_three_lock_cycle_detected(self):
+        sanitizer = ConcurrencySanitizer()
+        locks = {name: sanitizer.make_lock(name) for name in "abc"}
+        for first, second in [("a", "b"), ("b", "c"), ("c", "a")]:
+            with locks[first]:
+                with locks[second]:
+                    pass
+        cycles = findings_for(sanitizer, "SAN001")
+        assert len(cycles) == 1
+        assert set(cycles[0].nodes) == {"a", "b", "c"}
+
+    def test_consistent_order_is_clean(self):
+        sanitizer = ConcurrencySanitizer()
+        lock_a = sanitizer.make_lock("a")
+        lock_b = sanitizer.make_lock("b")
+
+        def worker():
+            for _ in range(50):
+                with lock_a:
+                    with lock_b:
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sanitizer.findings == []
+        sanitizer.raise_if_findings()  # must not raise
+
+    def test_reacquire_same_name_is_not_a_cycle(self):
+        sanitizer = ConcurrencySanitizer()
+        lock = sanitizer.make_lock("only")
+        with lock:
+            pass
+        with lock:
+            pass
+        assert sanitizer.findings == []
+
+    def test_sanitized_lock_behaves_like_a_lock(self):
+        sanitizer = ConcurrencySanitizer()
+        lock = sanitizer.make_lock("l")
+        assert isinstance(lock, SanitizedLock)
+        assert not lock.locked()
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+
+
+class TestOwnershipChecker:
+    def test_cross_thread_unlocked_access_reported(self):
+        sanitizer = ConcurrencySanitizer()
+        key = object()
+        sanitizer.check_unlocked_access(key, "join")
+
+        def other():
+            sanitizer.check_unlocked_access(key, "join")
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        races = findings_for(sanitizer, "SAN002")
+        assert len(races) == 1
+        assert races[0].nodes == ("join",)
+        assert "first access in thread" in races[0].detail
+        assert "conflicting access in thread" in races[0].detail
+
+    def test_same_thread_accesses_are_clean(self):
+        sanitizer = ConcurrencySanitizer()
+        key = object()
+        for _ in range(5):
+            sanitizer.check_unlocked_access(key, "sel")
+        assert sanitizer.findings == []
+
+    def test_forget_owner_models_a_handoff(self):
+        sanitizer = ConcurrencySanitizer()
+        key = object()
+        sanitizer.check_unlocked_access(key, "sel")
+        sanitizer.forget_owner(key)
+
+        def other():
+            sanitizer.check_unlocked_access(key, "sel")
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert sanitizer.findings == []
+
+    def test_race_reported_once_per_thread(self):
+        sanitizer = ConcurrencySanitizer()
+        key = object()
+        sanitizer.check_unlocked_access(key, "sel")
+
+        def other():
+            for _ in range(10):
+                sanitizer.check_unlocked_access(key, "sel")
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert len(findings_for(sanitizer, "SAN002")) == 1
+
+    def test_lock_free_dispatcher_cross_thread_invoke_flagged(self):
+        """The dispatcher integration: locking=False + sanitizer routes
+        every operator invocation through the ownership checker."""
+        graph, _ = selection_query(decouple=False)
+        sanitizer = ConcurrencySanitizer()
+        dispatcher = Dispatcher(graph, locking=False, sanitizer=sanitizer)
+        source_node = graph.sources()[0]
+        consumer = graph.successors(source_node)[0]
+
+        def drive():
+            dispatcher.inject(consumer, StreamElement(value=2, timestamp=0))
+
+        drive()
+        thread = threading.Thread(target=drive)
+        thread.start()
+        thread.join()
+        races = findings_for(sanitizer, "SAN002")
+        assert races
+        assert any("sel" in f.nodes[0] for f in races)
+
+    def test_locked_dispatcher_does_not_use_ownership_checker(self):
+        graph, _ = selection_query(decouple=False)
+        sanitizer = ConcurrencySanitizer()
+        dispatcher = Dispatcher(graph, locking=True, sanitizer=sanitizer)
+        assert dispatcher._access_check is None
+        consumer = graph.successors(graph.sources()[0])[0]
+        dispatcher.inject(consumer, StreamElement(value=2, timestamp=0))
+        assert sanitizer.findings == []
+
+
+class TestStarvationWatchdog:
+    def test_unit_starved_past_bound_reported(self):
+        sanitizer = ConcurrencySanitizer(starvation_grant_bound=3)
+        watchdog = sanitizer.watchdog
+        watchdog.on_wait("victim")
+        for _ in range(4):
+            watchdog.on_grant_event(("hog",), ("victim",))
+        starved = findings_for(sanitizer, "SAN003")
+        assert len(starved) == 1
+        assert starved[0].nodes == ("victim",)
+        assert "starved" in starved[0].message
+
+    def test_granted_within_bound_is_clean(self):
+        sanitizer = ConcurrencySanitizer(starvation_grant_bound=3)
+        watchdog = sanitizer.watchdog
+        for _ in range(10):
+            watchdog.on_wait("unit")
+            watchdog.on_grant_event(("other",), ("unit",))
+            watchdog.on_granted("unit")
+        assert sanitizer.findings == []
+
+    def test_reported_once_per_wait(self):
+        sanitizer = ConcurrencySanitizer(starvation_grant_bound=2)
+        watchdog = sanitizer.watchdog
+        watchdog.on_wait("victim")
+        for _ in range(10):
+            watchdog.on_grant_event(("hog",), ("victim",))
+        assert len(findings_for(sanitizer, "SAN003")) == 1
+        # A fresh wait after being granted resets the budget and may
+        # report again.
+        watchdog.on_granted("victim")
+        watchdog.on_wait("victim")
+        for _ in range(10):
+            watchdog.on_grant_event(("hog",), ("victim",))
+        assert len(findings_for(sanitizer, "SAN003")) == 2
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(SanitizerError):
+            ConcurrencySanitizer(starvation_grant_bound=0)
+
+
+class TestEngineIntegration:
+    def test_sanitized_gts_run_is_clean(self):
+        graph, sink = selection_query()
+        config = gts_config(graph, "fifo", sanitize=True)
+        engine = ThreadedEngine(graph, config)
+        assert engine.sanitizer is not None
+        report = engine.run(timeout=30)
+        assert not report.aborted
+        assert sink.values == EXPECTED
+        assert engine.sanitizer.findings == []
+
+    def test_sanitized_ots_bounded_run_is_clean(self):
+        graph, sink = selection_query()
+        config = ots_config(graph, max_concurrency=2, sanitize=True)
+        engine = ThreadedEngine(graph, config)
+        report = engine.run(timeout=30)
+        assert not report.aborted
+        assert sink.values == EXPECTED
+        assert engine.sanitizer.findings == []
+
+    def test_sanitized_run_uses_instrumented_node_locks(self):
+        graph, _ = selection_query()
+        engine = ThreadedEngine(graph, gts_config(graph, sanitize=True))
+        locks = engine.dispatcher._locks
+        assert locks
+        assert all(isinstance(lock, SanitizedLock) for lock in locks.values())
+
+    def test_seeded_finding_fails_the_run(self):
+        graph, _ = selection_query()
+        engine = ThreadedEngine(graph, gts_config(graph, sanitize=True))
+        lock_a = engine.sanitizer.make_lock("a")
+        lock_b = engine.sanitizer.make_lock("b")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        with pytest.raises(SanitizerError, match="SAN001"):
+            engine.run(timeout=30)
+
+    def test_off_mode_constructs_no_instrumentation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        graph, _ = selection_query()
+        config = gts_config(graph)
+        assert config.sanitize is False
+        engine = ThreadedEngine(graph, config)
+        assert engine.sanitizer is None
+        assert engine.dispatcher._sanitizer is None
+        assert engine.dispatcher._access_check is None
+        assert not any(
+            isinstance(lock, SanitizedLock)
+            for lock in engine.dispatcher._locks.values()
+        )
+
+    def test_repro_sanitize_env_var_is_the_default(self, monkeypatch):
+        graph, _ = selection_query()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert gts_config(graph).sanitize is True
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert gts_config(graph).sanitize is False
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert gts_config(graph).sanitize is False
+
+
+class TestLockForDiscipline:
+    """Regression for the unguarded ``Dispatcher._lock_for`` fast path."""
+
+    def test_all_graph_nodes_have_locks_at_construction(self):
+        graph, _ = selection_query()
+        dispatcher = Dispatcher(graph, locking=True)
+        assert set(dispatcher._locks) >= set(graph.nodes)
+
+    def test_queue_splice_extends_the_lock_map(self):
+        graph, _ = selection_query(decouple=False)
+        dispatcher = Dispatcher(graph, locking=True)
+        nodes = list(graph.nodes)
+        queue = graph.insert_queue(graph.find_edge(nodes[1], nodes[2]))
+        # The new queue node gets its lock at plan recompilation.
+        dispatcher._plan_for(queue)
+        assert queue in dispatcher._locks
+
+    def test_concurrent_lock_for_returns_one_instance(self):
+        """Many threads racing _lock_for on a node outside the graph
+        (the capture-sink slow path) must agree on a single lock."""
+        graph, _ = selection_query()
+        dispatcher = Dispatcher(graph, locking=True)
+        stray = Node(NodeKind.SINK, CollectingSink(), name="capture")
+        barrier = threading.Barrier(8)
+        seen = []
+        seen_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            lock = dispatcher._lock_for(stray)
+            with seen_lock:
+                seen.append(lock)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == 8
+        assert len({id(lock) for lock in seen}) == 1
+
+    def test_unlocked_dispatcher_returns_null_context(self):
+        graph, _ = selection_query()
+        dispatcher = Dispatcher(graph, locking=False)
+        assert dispatcher._locks == {}
+        with dispatcher._lock_for(graph.nodes[0]):
+            pass  # nullcontext: no lock state involved

@@ -7,7 +7,6 @@ from repro.errors import SchedulingError
 from repro.graph.builder import QueryBuilder
 from repro.graph.query_graph import QueryGraph
 from repro.operators.aggregate import WindowedAggregate
-from repro.operators.selection import Selection
 from repro.operators.union import Union
 from repro.streams.elements import StreamElement
 from repro.streams.sinks import CollectingSink

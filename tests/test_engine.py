@@ -142,7 +142,6 @@ class TestThreadSchedulerIntegration:
         report = ThreadedEngine(graph, config).run(timeout=30)
         assert not report.aborted
         assert sink.values == EXPECTED
-        ts = None  # engine owns it; just assert completion here
 
 
 class TestRuntimeFlexibility:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import OperatorError
-from repro.operators.base import Operator
 from repro.operators.projection import FlatMapOperator, MapOperator, Projection
 from repro.operators.selection import Selection, SimulatedSelection
 from repro.operators.union import Union

@@ -2,8 +2,6 @@
 
 import threading
 
-import pytest
-
 from repro.operators.queue_op import QueueOperator
 from repro.streams.elements import END_OF_STREAM, StreamElement, is_end
 

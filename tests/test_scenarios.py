@@ -5,8 +5,6 @@ placement, engines (real and simulated), statistics, and rendering —
 the integration level above per-module tests.
 """
 
-import pytest
-
 from repro.core import (
     Dispatcher,
     ThreadedEngine,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graph.builder import QueryBuilder
-from repro.graph.query_graph import QueryGraph
 from repro.stats.estimators import OperatorStatistics, StatisticsRegistry
 from repro.streams.sinks import CountingSink
 from repro.streams.sources import ListSource
