@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Macro benchmark: thread backend vs process backend on a CPU-heavy pipeline.
+
+The pipeline is two CPU-bound stages decoupled by queues::
+
+    source -> q1 -> [heavy stage A] -> q2 -> [heavy stage B] -> sink
+
+with one level-2 partition per queue, so the two heavy stages are
+independent scheduling units.  On the thread backend the GIL serializes
+them; on the process backend (``EngineConfig(backend="process")``) they
+run on separate cores connected by shared-memory rings, which is where
+the speedup comes from.  The final stage alone feeds the sink, so the
+sink output is deterministic and must be *bit-identical* across the
+scalar reference, the thread run, and the process run — a mismatch
+fails the benchmark (exit 1) regardless of any speedup.
+
+Writes ``BENCH_multicore.json`` (default, repo root) recording wall
+times, the process-over-thread speedup against the 1.6x target, the
+machine's CPU count, and whether the outputs matched.  On a single-core
+machine the parallel speedup is physically unreachable; the report says
+so (``cpu_count`` / ``note``) instead of massaging numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multicore.py [--out PATH]
+        [--n N] [--work W] [--repeat R] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import make_engine  # noqa: E402
+from repro.core.modes import hmts_config  # noqa: E402
+from repro.graph.builder import QueryBuilder  # noqa: E402
+from repro.streams.sinks import CollectingSink  # noqa: E402
+from repro.streams.sources import ListSource  # noqa: E402
+
+SPEEDUP_TARGET = 1.6
+
+_WORK = 400  # inner-loop iterations per stage per element (see --work)
+
+
+def _burn(value: int, rounds: int) -> int:
+    """Deterministic CPU work: an LCG iterated ``rounds`` times."""
+    acc = value & 0x7FFFFFFF
+    for _ in range(rounds):
+        acc = (acc * 1103515245 + 12345) & 0x7FFFFFFF
+    return acc
+
+
+# Module-level (not lambdas/closures) so the operators pickle — the
+# process backend's lint/reconfigure contract, and AN009.
+def stage_a(value: int) -> int:
+    return _burn(value, _WORK)
+
+
+def stage_b(value: int) -> int:
+    return _burn(value ^ 0x5A5A5A5A, _WORK)
+
+
+def build_pipeline(n: int):
+    """source -> q1 -> heavy A -> q2 -> heavy B -> sink."""
+    build = QueryBuilder()
+    sink = CollectingSink()
+    (
+        build.source(ListSource(range(n)), name="src")
+        .decouple(name="q1")
+        .map(stage_a, name="heavy-a", cost_ns=50_000.0)
+        .decouple(name="q2")
+        .map(stage_b, name="heavy-b", cost_ns=50_000.0)
+        .into(sink)
+    )
+    return build.graph(), sink
+
+
+def run_backend(backend: str, n: int, batch: int = 64):
+    """One run; returns (seconds, sink values)."""
+    graph, sink = build_pipeline(n)
+    queues = graph.queues()
+    config = hmts_config(
+        graph,
+        groups=[[queues[0]], [queues[1]]],
+        strategies="fifo",
+        backend=backend,
+        batch_size=batch,
+    )
+    engine = make_engine(graph, config)
+    start = time.perf_counter()
+    report = engine.run(timeout=600)
+    seconds = time.perf_counter() - start
+    if report.aborted or report.failure:
+        raise RuntimeError(
+            f"{backend} run failed: aborted={report.aborted} "
+            f"failure={report.failure!r}"
+        )
+    return seconds, list(sink.values)
+
+
+def main(argv: List[str] | None = None) -> int:
+    global _WORK
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_multicore.json",
+        help="output JSON path (default: BENCH_multicore.json at the repo root)",
+    )
+    parser.add_argument("--n", type=int, default=20_000, help="elements")
+    parser.add_argument(
+        "--work", type=int, default=_WORK, help="LCG rounds per stage per element"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="repetitions (best-of wall time)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run for CI: checks correctness, reports honestly",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 2_000)
+        args.work = min(args.work, 100)
+        args.repeat = 1
+    if args.n < 1 or args.work < 1 or args.repeat < 1:
+        parser.error("--n, --work, and --repeat must all be >= 1")
+    _WORK = args.work
+
+    # Scalar reference: the pipeline's semantics without any engine.
+    expected = [stage_b(stage_a(v)) for v in range(args.n)]
+
+    results = {}
+    for backend in ("thread", "process"):
+        best = float("inf")
+        values = None
+        for _ in range(args.repeat):
+            seconds, values = run_backend(backend, args.n)
+            best = min(best, seconds)
+        results[backend] = {
+            "seconds": best,
+            "elements_per_sec": args.n / best if best > 0 else None,
+            "matches_scalar": values == expected,
+        }
+        print(
+            f"{backend:8s} {best:8.3f}s  "
+            f"{args.n / best:>10,.0f} el/s  "
+            f"scalar-identical={values == expected}",
+        )
+        results[backend]["_values"] = values
+
+    identical = (
+        results["thread"]["_values"] == results["process"]["_values"]
+    )
+    for entry in results.values():
+        entry.pop("_values")
+    speedup = results["thread"]["seconds"] / results["process"]["seconds"]
+    cpu_count = os.cpu_count() or 1
+    target_met = speedup >= SPEEDUP_TARGET
+    if cpu_count < 2:
+        note = (
+            f"machine has {cpu_count} CPU core(s); the >= "
+            f"{SPEEDUP_TARGET}x parallel speedup target requires at "
+            "least 2 cores and cannot be met here. Numbers are real "
+            "measurements on this machine, not extrapolations."
+        )
+    elif target_met:
+        note = f"process backend met the {SPEEDUP_TARGET}x target."
+    else:
+        note = (
+            f"process backend below the {SPEEDUP_TARGET}x target on "
+            f"{cpu_count} cores; see per-backend timings."
+        )
+    report = {
+        "cpu_count": cpu_count,
+        "n": args.n,
+        "work": args.work,
+        "repeat": args.repeat,
+        "smoke": args.smoke,
+        "thread": results["thread"],
+        "process": results["process"],
+        "speedup_process_over_thread": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_met": target_met,
+        "outputs_bit_identical": identical
+        and results["thread"]["matches_scalar"]
+        and results["process"]["matches_scalar"],
+        "note": note,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"speedup (process over thread): {speedup:.2f}x "
+        f"(target {SPEEDUP_TARGET}x, {cpu_count} core(s))"
+    )
+    print(note)
+    print(f"wrote {args.out}")
+    if not report["outputs_bit_identical"]:
+        print("FAILED: sink outputs differ between backends/reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

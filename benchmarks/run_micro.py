@@ -6,16 +6,26 @@ pytest-benchmark dependency and writes a JSON report (default:
 ``BENCH_micro.json`` at the repo root) recording elements/sec for each
 variant plus the batched-over-scalar speedup.
 
+The report keeps a history: each invocation appends (or refreshes) an
+entry in the ``runs`` list keyed by the current git commit, so CI
+artifacts accumulate comparable data points instead of overwriting the
+previous run.  The top-level ``config``/``benchmarks`` always mirror
+the latest run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_micro.py [--out PATH] [--n N]
                                                   [--batch B] [--repeat R]
+                                                  [--profile]
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -97,6 +107,26 @@ def bench_queue_roundtrip_scalar(n: int, batch: int) -> int:
 
 def bench_queue_roundtrip_batched(n: int, batch: int) -> int:
     queue = QueueOperator()
+    elements = [StreamElement(value=i) for i in range(n)]
+    for start in range(0, n, batch):
+        queue.push_many(elements[start : start + batch])
+    drained = 0
+    while True:
+        popped = queue.pop_many(batch)
+        if not popped:
+            return drained
+        drained += len(popped)
+
+
+def bench_queue_roundtrip_spsc_locked(n: int, batch: int) -> int:
+    """Reference for the SPSC pair: the default Condition-locked path."""
+    return bench_queue_roundtrip_batched(n, batch)
+
+
+def bench_queue_roundtrip_spsc_fast(n: int, batch: int) -> int:
+    """Same bulk transfer over the lock-free point-to-point path."""
+    queue = QueueOperator()
+    queue.enable_spsc()
     elements = [StreamElement(value=i) for i in range(n)]
     for start in range(0, n, batch):
         queue.push_many(elements[start : start + batch])
@@ -208,6 +238,12 @@ PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
         "scalar": bench_queue_roundtrip_scalar,
         "batched": bench_queue_roundtrip_batched,
     },
+    # "scalar" = the Condition-locked path, "batched" = the SPSC fast
+    # path, same bulk operations — the speedup isolates the lock cost.
+    "queue_roundtrip_spsc": {
+        "scalar": bench_queue_roundtrip_spsc_locked,
+        "batched": bench_queue_roundtrip_spsc_fast,
+    },
     "run_queue": {
         "scalar": bench_run_queue_scalar,
         "batched": bench_run_queue_batched,
@@ -240,7 +276,69 @@ def _time_best(fn: Callable[[int, int], int], n: int, batch: int, repeat: int):
     return best, result
 
 
-def run(n: int, batch: int, repeat: int) -> dict:
+def _profile_to_stderr(name: str, variant: str, fn, n: int, batch: int) -> None:
+    """One profiled pass; top-20 cumulative hotspots to stderr."""
+    profiler = cProfile.Profile()
+    profiler.runcall(fn, n, batch)
+    print(f"--- profile: {name}/{variant} (top 20 by cumulative) ---", file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(20)
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def merge_history(previous: dict | None, report: dict, sha: str) -> dict:
+    """Fold ``report`` into the accumulated ``runs`` history.
+
+    The output keeps the latest run's ``config``/``benchmarks`` at the
+    top level (the shape consumers already parse) and appends a run
+    entry keyed by git SHA.  A rerun on the same commit replaces its
+    earlier entry; a pre-history file (no ``runs``) is migrated by
+    treating its top level as one run of unknown provenance.
+    """
+    runs: List[dict] = []
+    if previous:
+        runs = list(previous.get("runs", []))
+        if not runs and "benchmarks" in previous:
+            runs.append(
+                {
+                    "sha": previous.get("sha", "unknown"),
+                    "timestamp": previous.get("timestamp"),
+                    "config": previous.get("config"),
+                    "benchmarks": previous.get("benchmarks"),
+                }
+            )
+    entry = {
+        "sha": sha,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": report["config"],
+        "benchmarks": report["benchmarks"],
+    }
+    runs = [run_ for run_ in runs if run_.get("sha") != sha]
+    runs.append(entry)
+    return {
+        "config": report["config"],
+        "benchmarks": report["benchmarks"],
+        "sha": sha,
+        "runs": runs,
+    }
+
+
+def run(n: int, batch: int, repeat: int, profile: bool = False) -> dict:
     benchmarks = {}
     for name, variants in PAIRS.items():
         entry = {}
@@ -248,6 +346,8 @@ def run(n: int, batch: int, repeat: int) -> dict:
             # Warm-up pass so one-time costs (imports, first-call plan
             # compilation) don't land in the measured run.
             fn(n, batch)
+            if profile:
+                _profile_to_stderr(name, variant, fn, n, batch)
             seconds, result = _time_best(fn, n, batch, repeat)
             entry[variant] = {
                 "seconds": seconds,
@@ -285,6 +385,11 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="small fast run (n=4000, repeat=2) for CI correctness checking",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="emit cProfile top-20 cumulative hotspots per benchmark to stderr",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.n = min(args.n, 4_000)
@@ -296,8 +401,15 @@ def main(argv: List[str] | None = None) -> int:
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
 
-    report = run(args.n, args.batch, args.repeat)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    report = run(args.n, args.batch, args.repeat, profile=args.profile)
+    previous = None
+    if args.out.exists():
+        try:
+            previous = json.loads(args.out.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = None  # corrupt history: start fresh, keep the run
+    merged = merge_history(previous, report, _git_sha())
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
 
     print(f"n={args.n} batch={args.batch} repeat={args.repeat}")
     mismatched = []

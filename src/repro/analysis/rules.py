@@ -21,14 +21,18 @@ AN007     ``process_batch`` overrides must carry a scalar-equivalence
           test marker.
 AN008     Fused-chain eligibility diagnostics (including queues that
           needlessly split an intra-partition chain).
+AN009     Process-backend readiness: operator payloads must pickle, and
+          operators in different partitions must not alias mutable
+          state objects.
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
+import pickle
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding, Severity
 from repro.core.partition import Partitioning
@@ -604,5 +608,98 @@ def check_fusion(context: LintContext) -> Iterable[Finding]:
                     "drain and remove it (engine.remove_queue_runtime / "
                     "graph.remove_queue) or move one endpoint to another "
                     "partition"
+                ),
+            )
+
+
+_MUTABLE_CONTAINER_TYPES: Tuple[type, ...] = (dict, list, set, deque, bytearray)
+
+
+def _mutable_attr_objects(operator: Operator) -> Iterator[Tuple[str, Any]]:
+    """Yield (attribute path, object) for the operator's mutable state.
+
+    One level of tuple unwrapping is applied because binary operators
+    conventionally hold per-port state as a tuple of containers (e.g.
+    the two window deques of a symmetric join).
+    """
+    attrs = getattr(operator, "__dict__", None)
+    if not isinstance(attrs, dict):
+        return
+    for attr_name, value in attrs.items():
+        if isinstance(value, _MUTABLE_CONTAINER_TYPES):
+            yield attr_name, value
+        elif isinstance(value, tuple):
+            for index, member in enumerate(value):
+                if isinstance(member, _MUTABLE_CONTAINER_TYPES):
+                    yield f"{attr_name}[{index}]", member
+
+
+@rule("AN009", "process-backend readiness: picklable operators, no shared state")
+def check_process_readiness(context: LintContext) -> Iterable[Finding]:
+    """Flag graphs the process backend cannot migrate or parallelize.
+
+    The process backend (``EngineConfig(backend="process")``) ships
+    operator state between worker address spaces during reconfiguration
+    by pickling whole payloads; an unpicklable operator (lambda
+    predicate, open file handle, ...) makes every runtime mode switch
+    fail (WARNING — the thread backend is unaffected).  Separately, two
+    operators in *different* partitions that alias the same mutable
+    object (a shared window deque, a common statistics dict) silently
+    fork into divergent copies when those partitions become separate
+    processes (ERROR when a partitioning is given).
+    """
+    graph = context.graph
+    for node in graph.nodes:
+        payload = node.payload
+        if not isinstance(payload, Operator) or node.is_queue:
+            continue
+        try:
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - any failure is the finding
+            yield Finding(
+                rule="AN009",
+                severity=Severity.WARNING,
+                message=(
+                    f"operator {node.name!r} is not picklable ({exc}); the "
+                    "process backend cannot snapshot or migrate its state "
+                    "across workers"
+                ),
+                nodes=(node.name,),
+                fix_hint=(
+                    "replace lambdas/closures with module-level functions "
+                    "and drop unpicklable handles from operator attributes"
+                ),
+            )
+    partitioning = context.partitioning
+    if partitioning is None:
+        return
+    holders: Dict[int, Tuple[Node, str, Any]] = {}
+    for node in graph.nodes:
+        payload = node.payload
+        if not isinstance(payload, Operator) or node.is_queue:
+            continue
+        for attr_path, state_obj in _mutable_attr_objects(payload):
+            previous = holders.get(id(state_obj))
+            if previous is None:
+                holders[id(state_obj)] = (node, attr_path, state_obj)
+                continue
+            other_node, other_path, _ = previous
+            if other_node is node:
+                continue
+            if partitioning.same_partition(node, other_node):
+                continue
+            yield Finding(
+                rule="AN009",
+                severity=Severity.ERROR,
+                message=(
+                    f"operators {other_node.name!r} ({other_path}) and "
+                    f"{node.name!r} ({attr_path}) alias the same mutable "
+                    "state object across partitions; separate processes "
+                    "would fork it into silently divergent copies"
+                ),
+                nodes=_names((other_node, node)),
+                fix_hint=(
+                    "give each operator its own state object, or place "
+                    "both operators in the same partition"
                 ),
             )

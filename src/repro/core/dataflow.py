@@ -258,6 +258,19 @@ class Dispatcher:
         """
         return self._plan_for(node)[2]
 
+    def invalidate_plan(self) -> None:
+        """Drop the compiled plan so the next dispatch recompiles it.
+
+        Plan entries cache node *payloads*; graph-structure changes are
+        picked up automatically via the generation key, but payload
+        replacement (the process backend's ring-queue swap and operator
+        state migration) changes what a node executes without bumping
+        the generation — callers doing that must invalidate explicitly.
+        Only safe while no dispatch is in flight (engines do it under
+        pause quiescence).
+        """
+        self._plan = (-1, {})
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------

@@ -31,13 +31,14 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import ConcurrencySanitizer
 
 from repro.core.dataflow import Dispatcher
 from repro.core.modes import EngineConfig, PartitionSpec, SchedulingMode
+from repro.core.partition import di_region
 from repro.core.thread_scheduler import ThreadScheduler
 from repro.errors import EngineStateError, SchedulingError
 from repro.graph.node import Node
@@ -47,9 +48,87 @@ from repro.stats.estimators import StatisticsRegistry
 from repro.streams.sinks import Sink
 from repro.streams.sources import Source
 
-__all__ = ["ThreadedEngine", "EngineReport"]
+__all__ = [
+    "ThreadedEngine",
+    "EngineReport",
+    "make_engine",
+    "spsc_eligible_queues",
+]
 
 _POLL_SECONDS = 0.01
+
+
+def make_engine(
+    graph: QueryGraph,
+    config: EngineConfig,
+    stats: Optional[StatisticsRegistry] = None,
+):
+    """Construct the execution engine for ``config.backend``.
+
+    ``"thread"`` returns a :class:`ThreadedEngine`; ``"process"``
+    returns a :class:`repro.mp.process_engine.ProcessEngine` (imported
+    lazily so thread-backend users never touch ``multiprocessing``).
+    Both expose the same run/start/join/abort/pause/resume/reconfigure
+    surface and produce an :class:`EngineReport`.
+    """
+    if config.backend == "process":
+        if stats is not None:
+            raise SchedulingError(
+                "the statistics registry samples operators in-process and is "
+                "not supported on the process backend; run the measurement "
+                'pass with backend="thread"'
+            )
+        from repro.mp.process_engine import ProcessEngine
+
+        return ProcessEngine(graph, config)
+    return ThreadedEngine(graph, config, stats)
+
+
+def spsc_eligible_queues(
+    graph: QueryGraph, partitions: Sequence[PartitionSpec]
+) -> list[Node]:
+    """Queues provably touched by one producer and one consumer thread.
+
+    A queue qualifies for the lock-free SPSC fast path when
+
+    * it has exactly one in-edge and one out-edge (the AN006
+      point-to-point boundary shape), and
+    * exactly one *thread owner* — a source thread or a partition
+      worker — pushes into it: the queue appears on the region boundary
+      of exactly one DI entry owner (each queue entry is attributed to
+      the partition that owns it, so two queues scheduled by the same
+      worker count as one producer thread).
+
+    The consumer side is always single-threaded (one partition owns
+    each queue, and a partition is driven by one worker).  Eligibility
+    is stable under runtime queue splices: splicing moves region
+    ownership between entries but never duplicates it, and splices run
+    under pause quiescence anyway.
+    """
+    owner_of_queue = {
+        node: spec.name for spec in partitions for node in spec.queue_nodes
+    }
+    producers: Dict[Node, set] = {node: set() for node in graph.queues()}
+    entries: list[tuple[Node, tuple]] = [
+        (node, ("source", node.name)) for node in graph.sources()
+    ]
+    entries += [
+        (node, ("partition", owner_of_queue.get(node, node.name)))
+        for node in graph.queues()
+    ]
+    for entry, owner in entries:
+        _, boundary = di_region(graph, entry)
+        for queue_node in boundary:
+            producers.setdefault(queue_node, set()).add(owner)
+    eligible = []
+    for queue_node in graph.queues():
+        if len(graph.in_edges(queue_node)) != 1:
+            continue
+        if len(graph.out_edges(queue_node)) != 1:
+            continue
+        if len(producers.get(queue_node, ())) == 1:
+            eligible.append(queue_node)
+    return eligible
 
 
 @dataclass
@@ -65,6 +144,10 @@ class EngineReport:
         memory_samples: Optional ``(wall_ns, total_queued)`` series
             sampled during the run.
         aborted: True when the run hit the timeout and was aborted.
+        failure: Human-readable description of a fatal worker failure
+            (process backend: a crashed or erroring worker), None on a
+            clean run.  Engines raise by default; this field carries
+            the diagnosis when a caller asks for a report instead.
     """
 
     mode: SchedulingMode
@@ -74,6 +157,7 @@ class EngineReport:
     queue_peaks: Dict[str, int]
     memory_samples: List[tuple[int, int]] = field(default_factory=list)
     aborted: bool = False
+    failure: Optional[str] = None
 
     @property
     def total_results(self) -> int:
@@ -120,6 +204,8 @@ class ThreadedEngine:
         self.dispatcher = Dispatcher(
             graph, stats=stats, locking=True, sanitizer=self.sanitizer
         )
+        #: Queues running the lock-free SPSC fast path this run.
+        self.spsc_queues: List[Node] = []
         self._threads: List[threading.Thread] = []
         self._abort = threading.Event()
         self._resume = threading.Event()
@@ -149,6 +235,31 @@ class ThreadedEngine:
                     self.sanitizer.watchdog if self.sanitizer is not None else None
                 ),
             )
+        self._apply_spsc()
+
+    def _apply_spsc(self) -> None:
+        """(Re)apply the SPSC fast path to exactly the eligible queues.
+
+        Called at construction and — under pause quiescence — after
+        every structural or ownership change (reconfigure, runtime
+        queue splices), since both can create or destroy a queue's
+        single-producer proof.  Sanitized runs stay on the locked path:
+        the sanitizer's checkers assume it, and its findings would be
+        meaningless against lock-free transfers.
+        """
+        if not self.config.spsc_queues or self.config.sanitize:
+            return
+        eligible = set(spsc_eligible_queues(self.graph, self._partitions))
+        self.spsc_queues = []
+        for node in self.graph.queues():
+            payload = node.payload
+            assert isinstance(payload, QueueOperator)
+            if node in eligible:
+                if not payload.is_spsc:
+                    payload.enable_spsc()
+                self.spsc_queues.append(node)
+            elif payload.is_spsc:
+                payload.disable_spsc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -300,6 +411,7 @@ class ThreadedEngine:
             self._generation += 1
             generation = self._generation
             self._partitions = list(partitions)
+            self._apply_spsc()
             if self._started and not self._abort.is_set():
                 for spec in partitions:
                     self._start_partition(spec, generation)
@@ -327,6 +439,7 @@ class ThreadedEngine:
                     )
                 target.queue_nodes.append(queue_node)
                 target.strategy.prepare(self.graph, target.queue_nodes)
+                self._apply_spsc()
             finally:
                 if was_running:
                     self.resume()
@@ -350,7 +463,9 @@ class ThreadedEngine:
                         spec.queue_nodes.remove(queue_node)
                         if spec.queue_nodes:
                             spec.strategy.prepare(self.graph, spec.queue_nodes)
-                return self.graph.remove_queue(queue_node)
+                removed = self.graph.remove_queue(queue_node)
+                self._apply_spsc()
+                return removed
             finally:
                 if was_running:
                     self.resume()

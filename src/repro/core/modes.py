@@ -89,6 +89,23 @@ class EngineConfig:
         mode: Which classic architecture this configuration represents
             (informational; the partitions are authoritative).
         partitions: The level-2 units.
+        backend: Execution substrate: ``"thread"`` runs every level-2
+            unit as an OS thread in this process (GIL-bound — faithful
+            architecture, no parallelism); ``"process"`` runs every
+            unit and every source in its own worker process with
+            shared-memory ring queues on the partition-crossing edges
+            (:mod:`repro.mp`), which is what actually uses multiple
+            cores.  Construct via :func:`repro.core.engine.make_engine`
+            to get the right engine for the backend.
+        spsc_queues: Thread backend only: enable the lock-free
+            single-producer/single-consumer fast path on every queue
+            the engine can prove is point-to-point with a single
+            producing DI region (AN006 shape + region analysis).
+            Disabled automatically under the sanitizer.
+        ring_capacity: Process backend only: data bytes per
+            shared-memory ring (one ring per decoupling queue).  A
+            batch envelope larger than this is a hard error; smaller
+            rings spill to the producer's local deque more often.
         max_concurrency: Level-3 permit bound (None = unbounded; the
             paper's dual-core machine corresponds to 2).
         aging_ns: Level-3 starvation-prevention aging constant.
@@ -122,6 +139,9 @@ class EngineConfig:
 
     mode: SchedulingMode
     partitions: List[PartitionSpec] = field(default_factory=list)
+    backend: str = "thread"
+    spsc_queues: bool = True
+    ring_capacity: int = 1 << 20
     max_concurrency: Optional[int] = None
     aging_ns: float = 50_000_000.0
     batch_limit: Optional[int] = None
@@ -134,6 +154,14 @@ class EngineConfig:
     sanitize_starvation_grants: int = 1000
 
     def __post_init__(self) -> None:
+        if self.backend not in ("thread", "process"):
+            raise SchedulingError(
+                f'backend must be "thread" or "process", got {self.backend!r}'
+            )
+        if self.ring_capacity < 64:
+            raise SchedulingError(
+                f"ring_capacity must be >= 64 bytes, got {self.ring_capacity}"
+            )
         if self.batch_size is not None and self.batch_size < 1:
             raise SchedulingError(
                 f"batch_size must be >= 1 or None, got {self.batch_size}"

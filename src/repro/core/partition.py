@@ -19,7 +19,40 @@ from repro.errors import PartitionError
 from repro.graph.node import Node
 from repro.graph.query_graph import QueryGraph
 
-__all__ = ["Partition", "Partitioning"]
+__all__ = ["Partition", "Partitioning", "di_region"]
+
+
+def di_region(graph: QueryGraph, entry: Node) -> tuple[set[Node], set[Node]]:
+    """The DI chain-reaction region driven by ``entry``'s thread.
+
+    ``entry`` is a region entry point — a source or a decoupling queue.
+    An element leaving it traverses operators by direct
+    interoperability until the chain reaction stops at the next
+    decoupling queue or at a sink.  Returns ``(members,
+    boundary_queues)``: ``members`` are the non-queue nodes (operators
+    and sinks) the entry's thread executes, ``boundary_queues`` are the
+    queues it pushes into (the edges where its region hands over to
+    another scheduler).
+
+    This is the unit of exclusive state ownership for the process
+    backend: every node in ``members`` is touched only by whichever
+    process drives ``entry``, so two entries in different processes
+    must have disjoint member sets (sinks excepted — sink deliveries
+    are merged by the parent).
+    """
+    members: set[Node] = set()
+    boundary: set[Node] = set()
+    frontier = [edge.consumer for edge in graph.out_edges(entry)]
+    while frontier:
+        node = frontier.pop()
+        if node.is_queue:
+            boundary.add(node)
+            continue
+        if node in members:
+            continue
+        members.add(node)
+        frontier.extend(edge.consumer for edge in graph.out_edges(node))
+    return members, boundary
 
 
 class Partition:

@@ -222,6 +222,28 @@ class ThreadScheduler:
         with self._lock:
             return self._require(unit_id).total_wait_ns
 
+    def snapshot(self) -> Dict[str, dict]:
+        """One consistent accounting view over every registered unit.
+
+        Used by the process backend's control plane (the parent serves
+        permits for worker processes and reports their gate statistics)
+        and by diagnostics; one lock round for the whole table instead
+        of one per unit and metric.
+        """
+        now_ns = time.monotonic_ns()
+        with self._lock:
+            return {
+                unit_id: {
+                    "priority": state.priority,
+                    "effective_priority": self._effective_priority(state, now_ns),
+                    "grants": state.grants,
+                    "total_wait_ns": state.total_wait_ns,
+                    "running": state.running,
+                    "waiting": state.waiting_since_ns is not None,
+                }
+                for unit_id, state in self._units.items()
+            }
+
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------

@@ -1,0 +1,235 @@
+"""Shared-memory SPSC ring buffers for the process backend.
+
+A :class:`ShmRing` is the inter-process transport behind every
+partition-crossing decoupling queue when ``EngineConfig.backend`` is
+``"process"``: a single-producer / single-consumer byte ring over one
+``multiprocessing.shared_memory`` segment, carrying *batched pickled
+envelopes* — one envelope per ``push_many`` call, so one IPC crossing
+moves a whole micro-batch (the PR-1 bulk-transfer protocol, across
+address spaces).
+
+Layout of the segment::
+
+    offset  size  field                       writer
+    ------  ----  --------------------------  -----------------
+    0       8     head  (bytes consumed)      consumer only
+    8       8     tail  (bytes written)       producer only
+    16      8     data capacity in bytes      creator, once
+    24      8     flags (bit0: closed)        producer only
+    32      ...   data region (byte ring)     producer writes,
+                                              consumer reads
+
+``head`` and ``tail`` are monotonically increasing 64-bit counters
+addressed modulo the capacity.  Each side writes only its own counter
+and reads the other's, so the only cross-process hazard is a stale (not
+torn) read: 8-byte aligned stores are atomic on every platform CPython's
+``mmap`` runs on, and a stale value merely under-reports available
+data/space — never corrupts it.
+
+An envelope on the wire is ``[u32 length][pickled payload]``; envelopes
+wrap around the ring byte-wise.  The ring is *bounded*: ``try_push``
+returns False when the batch does not fit, and the queue proxies in
+:mod:`repro.mp.queues` keep an unbounded local spill so producers never
+block inside a dispatch (which is what keeps pause/reconfigure
+quiescence deadlock-free — see docs/multicore.md).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing import shared_memory
+from typing import List, Sequence
+
+__all__ = ["ShmRing", "HEADER_BYTES", "DEFAULT_CAPACITY"]
+
+_U64 = struct.Struct("<Q")
+_LEN = struct.Struct("<I")
+
+#: Bytes reserved for the head/tail/capacity/flags header.
+HEADER_BYTES = 32
+
+#: Default data-region size per ring (1 MiB).
+DEFAULT_CAPACITY = 1 << 20
+
+_OFF_HEAD = 0
+_OFF_TAIL = 8
+_OFF_CAPACITY = 16
+_OFF_FLAGS = 24
+
+_FLAG_CLOSED = 1
+
+
+class ShmRing:
+    """A bounded SPSC byte ring over a shared-memory segment.
+
+    Exactly one process may push and exactly one may pop; both may be
+    the same process (a partition that owns a queue it also feeds).
+
+    Args:
+        shm: The backing segment (created or attached by the caller via
+            the :meth:`create` / :meth:`attach` constructors).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = _U64.unpack_from(self._buf, _OFF_CAPACITY)[0]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY) -> "ShmRing":
+        """Create a fresh ring with ``capacity`` data bytes."""
+        if capacity < 64:
+            raise ValueError(f"ring capacity too small: {capacity}")
+        shm = shared_memory.SharedMemory(create=True, size=HEADER_BYTES + capacity)
+        _U64.pack_into(shm.buf, _OFF_HEAD, 0)
+        _U64.pack_into(shm.buf, _OFF_TAIL, 0)
+        _U64.pack_into(shm.buf, _OFF_CAPACITY, capacity)
+        _U64.pack_into(shm.buf, _OFF_FLAGS, 0)
+        return cls(shm)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach to an existing ring by segment name."""
+        return cls(shared_memory.SharedMemory(name=name))
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (for cross-process attach)."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    # Counter access
+    # ------------------------------------------------------------------
+    def _read_u64(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _write_u64(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer has marked end-of-stream."""
+        return bool(self._read_u64(_OFF_FLAGS) & _FLAG_CLOSED)
+
+    def mark_closed(self) -> None:
+        """Producer side: no further envelope will be pushed."""
+        self._write_u64(_OFF_FLAGS, self._read_u64(_OFF_FLAGS) | _FLAG_CLOSED)
+
+    def data_available(self) -> int:
+        """Bytes currently buffered (consumer view)."""
+        return self._read_u64(_OFF_TAIL) - self._read_u64(_OFF_HEAD)
+
+    def space_available(self) -> int:
+        """Free data bytes (producer view)."""
+        return self.capacity - (self._read_u64(_OFF_TAIL) - self._read_u64(_OFF_HEAD))
+
+    @property
+    def empty(self) -> bool:
+        """True when no envelope is buffered."""
+        return self.data_available() == 0
+
+    # ------------------------------------------------------------------
+    # Byte I/O (wrap-aware)
+    # ------------------------------------------------------------------
+    def _write_bytes(self, position: int, payload: bytes) -> None:
+        offset = position % self.capacity
+        first = min(len(payload), self.capacity - offset)
+        start = HEADER_BYTES + offset
+        self._buf[start : start + first] = payload[:first]
+        rest = len(payload) - first
+        if rest:
+            self._buf[HEADER_BYTES : HEADER_BYTES + rest] = payload[first:]
+
+    def _read_bytes(self, position: int, size: int) -> bytes:
+        offset = position % self.capacity
+        first = min(size, self.capacity - offset)
+        start = HEADER_BYTES + offset
+        chunk = bytes(self._buf[start : start + first])
+        rest = size - first
+        if rest:
+            chunk += bytes(self._buf[HEADER_BYTES : HEADER_BYTES + rest])
+        return chunk
+
+    # ------------------------------------------------------------------
+    # Envelope protocol
+    # ------------------------------------------------------------------
+    def try_push_bytes(self, payload: bytes) -> bool:
+        """Append one ``[length][payload]`` envelope; False when full.
+
+        Producer-only.  The tail counter is advanced *after* the bytes
+        are in place, so a concurrent consumer never reads a
+        half-written envelope.
+        """
+        needed = _LEN.size + len(payload)
+        if needed > self.capacity:
+            raise ValueError(
+                f"envelope of {needed} bytes exceeds ring capacity "
+                f"{self.capacity}; raise EngineConfig.ring_capacity"
+            )
+        if needed > self.space_available():
+            return False
+        tail = self._read_u64(_OFF_TAIL)
+        self._write_bytes(tail, _LEN.pack(len(payload)))
+        self._write_bytes(tail + _LEN.size, payload)
+        self._write_u64(_OFF_TAIL, tail + needed)
+        return True
+
+    def pop_all_bytes(self) -> List[bytes]:
+        """Consume every complete buffered envelope.  Consumer-only."""
+        head = self._read_u64(_OFF_HEAD)
+        tail = self._read_u64(_OFF_TAIL)
+        envelopes: List[bytes] = []
+        while head < tail:
+            (length,) = _LEN.unpack(self._read_bytes(head, _LEN.size))
+            envelopes.append(self._read_bytes(head + _LEN.size, length))
+            head += _LEN.size + length
+        if envelopes:
+            self._write_u64(_OFF_HEAD, head)
+        return envelopes
+
+    def try_push_batch(self, items: Sequence[object]) -> bool:
+        """Pickle ``items`` as one envelope and push it; False when full."""
+        return self.try_push_bytes(pickle.dumps(list(items), pickle.HIGHEST_PROTOCOL))
+
+    def pop_batches(self) -> List[list]:
+        """Unpickle and return every buffered envelope, in FIFO order."""
+        return [pickle.loads(envelope) for envelope in self.pop_all_bytes()]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping (does not destroy the segment)."""
+        # The memoryview must be released before SharedMemory.close().
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only, after all closes)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. crash cleanup)
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ShmRing {self.name} cap={self.capacity}>"
+
+
+__all__.append("unlink_by_name")
+
+
+def unlink_by_name(name: str) -> None:
+    """Best-effort unlink of a segment by name (crash cleanup)."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another cleanup
+        pass

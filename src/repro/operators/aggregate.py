@@ -29,13 +29,39 @@ from repro.streams.elements import StreamElement
 
 __all__ = ["WindowedAggregate", "IncrementalAggregate", "AGGREGATE_FUNCTIONS"]
 
+def _identity(value: Any) -> Any:
+    return value
+
+
+# Named (not lambdas) so a configured aggregate operator pickles — the
+# process backend's reconfigure ships operator state between workers.
+def _agg_sum(values: list[Any]) -> Any:
+    return sum(values)
+
+
+def _agg_count(values: list[Any]) -> Any:
+    return len(values)
+
+
+def _agg_avg(values: list[Any]) -> Any:
+    return sum(values) / len(values) if values else None
+
+
+def _agg_min(values: list[Any]) -> Any:
+    return min(values) if values else None
+
+
+def _agg_max(values: list[Any]) -> Any:
+    return max(values) if values else None
+
+
 #: Built-in aggregate functions: name -> callable over a list of payloads.
 AGGREGATE_FUNCTIONS: Dict[str, Callable[[list[Any]], Any]] = {
-    "sum": lambda values: sum(values),
-    "count": lambda values: len(values),
-    "avg": lambda values: sum(values) / len(values) if values else None,
-    "min": lambda values: min(values) if values else None,
-    "max": lambda values: max(values) if values else None,
+    "sum": _agg_sum,
+    "count": _agg_count,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
 }
 
 
@@ -86,7 +112,7 @@ class WindowedAggregate(Operator):
         self.window = TimeWindow(window_ns)
         self._aggregate_fn = aggregate_fn
         self._key_fn = key_fn
-        self._value_fn = value_fn or (lambda value: value)
+        self._value_fn = value_fn or _identity
 
     def process(self, element: StreamElement, port: int = 0) -> List[StreamElement]:
         self._guard(port)
@@ -177,7 +203,7 @@ class IncrementalAggregate(Operator):
         )
         self.aggregate = aggregate
         self.window = TimeWindow(window_ns)
-        self._value_fn = value_fn or (lambda value: value)
+        self._value_fn = value_fn or _identity
         self._sum = 0.0
         self._pending: list[float] = []
 

@@ -19,6 +19,10 @@ from repro.streams.elements import StreamElement
 __all__ = ["WindowedDistinct"]
 
 
+def _identity(value: Any) -> Any:
+    return value
+
+
 class WindowedDistinct(Operator):
     """Forward an element only if its key is new within the window.
 
@@ -47,7 +51,8 @@ class WindowedDistinct(Operator):
             declared_selectivity=declared_selectivity,
         )
         self.window_ns = window_ns
-        self._key_fn = key_fn or (lambda value: value)
+        # Module-level default keeps the default construction picklable.
+        self._key_fn = key_fn or _identity
         # Last-seen timestamp per key, plus an expiry queue so state
         # stays proportional to the number of in-window sightings.
         self._last_seen: Dict[Any, int] = {}

@@ -33,6 +33,14 @@ def _pair(left: Any, right: Any) -> tuple[Any, Any]:
     return (left, right)
 
 
+def _identity(value: Any) -> Any:
+    return value
+
+
+def _equal(left: Any, right: Any) -> bool:
+    return bool(left == right)
+
+
 class _WindowedJoin(Operator):
     """Shared machinery: per-side sliding windows and end handling."""
 
@@ -107,8 +115,9 @@ class SymmetricHashJoin(_WindowedJoin):
             declared_cost_ns=declared_cost_ns,
             declared_selectivity=declared_selectivity,
         )
-        identity = lambda value: value  # noqa: E731 - tiny local default
-        self._key_fns = key_fns or (identity, identity)
+        # Module-level default: keeps a default-constructed join
+        # picklable (the process backend's reconfigure requires it).
+        self._key_fns = key_fns or (_identity, _identity)
         # Per side: insertion-ordered deque (for expiry) and key index.
         # Buckets are deques: elements enter a bucket in arrival order and
         # expire strictly oldest-first, so an expiry victim is always the
@@ -254,7 +263,7 @@ class SymmetricNestedLoopsJoin(_WindowedJoin):
             declared_cost_ns=declared_cost_ns,
             declared_selectivity=declared_selectivity,
         )
-        self._predicate = predicate or (lambda left, right: left == right)
+        self._predicate = predicate or _equal
         self._windows: tuple[Deque[StreamElement], Deque[StreamElement]] = (
             deque(),
             deque(),

@@ -62,17 +62,18 @@ class Projection(MapOperator):
         declared_cost_ns: float | None = None,
     ) -> None:
         self.attributes = tuple(attributes)
-
-        def project(value: Any) -> Any:
-            if isinstance(value, Mapping):
-                return {key: value[key] for key in self.attributes}
-            return tuple(value[position] for position in self.attributes)
-
+        # A bound method, not a closure: keeps the operator picklable
+        # for the process backend's state migration.
         super().__init__(
-            project,
+            self._project,
             name=name or f"projection{self.attributes!r}",
             declared_cost_ns=declared_cost_ns,
         )
+
+    def _project(self, value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {key: value[key] for key in self.attributes}
+        return tuple(value[position] for position in self.attributes)
 
 
 class FlatMapOperator(StatelessOperator):

@@ -24,6 +24,7 @@ dominant queue cost, not the deque operations.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Sequence
 
@@ -54,6 +55,7 @@ class QueueOperator(Operator):
         # instead of an O(n) scan under the lock.
         self._data_seqs: Deque[int] = deque()
         self._condition = threading.Condition()
+        self._spsc = False
         self.peak_size = 0
         self.total_enqueued = 0
         #: Optional callback invoked (outside the lock) after every push;
@@ -177,6 +179,8 @@ class QueueOperator(Operator):
         return self.pop_many(limit)
 
     def __len__(self) -> int:
+        if self._spsc:
+            return len(self._items)
         with self._condition:
             return len(self._items)
 
@@ -208,3 +212,130 @@ class QueueOperator(Operator):
             self._data_seqs.clear()
             self.peak_size = 0
             self.total_enqueued = 0
+
+    # ------------------------------------------------------------------
+    # SPSC fast path
+    # ------------------------------------------------------------------
+    @property
+    def is_spsc(self) -> bool:
+        """True when the lock-free point-to-point path is active."""
+        return self._spsc
+
+    def enable_spsc(self) -> None:
+        """Switch to the lock-free single-producer/single-consumer path.
+
+        Caller contract (the engine proves it by graph analysis — AN006
+        point-to-point shape plus a single producing DI region, see
+        ``repro.core.engine.spsc_eligible_queues``): at most one thread
+        pushes and at most one thread pops, concurrently.  Under that
+        contract CPython's ``deque.append``/``popleft`` are already
+        atomic, so the Condition round-trip per transfer — the dominant
+        queue cost on the hot path — can be dropped entirely.
+
+        Safety of the remaining cross-thread interactions:
+
+        * the producer appends the data seq *before* the item and the
+          consumer pops the item *before* its seq, so the seq FIFO never
+          under-runs;
+        * ``pop_many`` pops exactly the observed size one ``popleft`` at
+          a time (never ``clear()``), so a concurrent append is never
+          lost;
+        * ``peak_size``/``total_enqueued`` are producer-written only,
+          ``oldest_seq`` may observe the seq of an element whose item is
+          not yet visible — a stale scheduling hint, never corruption.
+        """
+        self._spsc = True
+        self.push = self._push_spsc  # type: ignore[method-assign]
+        self.push_many = self._push_many_spsc  # type: ignore[method-assign]
+        self.try_pop = self._try_pop_spsc  # type: ignore[method-assign]
+        self.pop = self._pop_spsc  # type: ignore[method-assign]
+        self.pop_many = self._pop_many_spsc  # type: ignore[method-assign]
+        self.oldest_seq = self._oldest_seq_spsc  # type: ignore[method-assign]
+
+    def disable_spsc(self) -> None:
+        """Return to the locked path (only while provably quiescent).
+
+        Engines call this under pause quiescence when a runtime
+        reconfiguration makes a queue lose its single-producer proof
+        (e.g. two queues feeding one join move to different workers).
+        """
+        if not self._spsc:
+            return
+        self._spsc = False
+        for attr in ("push", "push_many", "try_pop", "pop", "pop_many", "oldest_seq"):
+            self.__dict__.pop(attr, None)
+
+    def _push_spsc(self, item: StreamElement | Punctuation) -> None:
+        if isinstance(item, StreamElement):
+            self._data_seqs.append(item.seq)
+        self._items.append(item)
+        self.total_enqueued += 1
+        size = len(self._items)
+        if size > self.peak_size:
+            self.peak_size = size
+        listener = self.push_listener
+        if listener is not None:
+            listener()
+
+    def _push_many_spsc(
+        self, items: Iterable[StreamElement | Punctuation]
+    ) -> int:
+        batch = list(items)
+        if not batch:
+            return 0
+        append_seq = self._data_seqs.append
+        for item in batch:
+            if isinstance(item, StreamElement):
+                append_seq(item.seq)
+        self._items.extend(batch)
+        self.total_enqueued += len(batch)
+        size = len(self._items)
+        if size > self.peak_size:
+            self.peak_size = size
+        listener = self.push_listener
+        if listener is not None:
+            listener()
+        return len(batch)
+
+    def _try_pop_spsc(self) -> Optional[StreamElement | Punctuation]:
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if isinstance(item, StreamElement):
+            self._data_seqs.popleft()
+        return item
+
+    def _pop_spsc(
+        self, timeout: float | None = None
+    ) -> Optional[StreamElement | Punctuation]:
+        # No Condition to wait on; poll with a short sleep.  Engines use
+        # try_pop/pop_many plus the push listener, so this path is cold.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            item = self._try_pop_spsc()
+            if item is not None:
+                return item
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(0.0005)
+
+    def _pop_many_spsc(
+        self, limit: int | None = None
+    ) -> list[StreamElement | Punctuation]:
+        size = len(self._items)
+        if size == 0:
+            return []
+        take = size if limit is None or limit >= size else limit
+        popleft = self._items.popleft
+        items = [popleft() for _ in range(take)]
+        pop_seq = self._data_seqs.popleft
+        for item in items:
+            if isinstance(item, StreamElement):
+                pop_seq()
+        return items
+
+    def _oldest_seq_spsc(self) -> Optional[int]:
+        seqs = self._data_seqs
+        if seqs:
+            return seqs[0]
+        return None

@@ -24,6 +24,10 @@ def rule_findings(findings, rule_id):
     return [finding for finding in findings if finding.rule == rule_id]
 
 
+def _always_true(value):
+    return True
+
+
 def simple_chain(n_ops=1):
     """source -> n selections -> sink; returns (graph, [op nodes])."""
     graph = QueryGraph()
@@ -31,7 +35,7 @@ def simple_chain(n_ops=1):
     ops = []
     prev = src
     for index in range(n_ops):
-        op = graph.add_operator(Selection(lambda v: True), name=f"sel{index}")
+        op = graph.add_operator(Selection(_always_true), name=f"sel{index}")
         graph.connect(prev, op)
         ops.append(op)
         prev = op
@@ -329,6 +333,75 @@ class TestAN008Fusion:
         )
         findings = lint_graph(graph, partitioning, rules=["AN008"])
         assert [f for f in findings if f.severity is Severity.WARNING] == []
+
+
+class TestAN009ProcessReadiness:
+    def test_lambda_operator_warns(self):
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        op = graph.add_operator(Selection(lambda v: True), name="sel")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, op)
+        graph.connect(op, sink)
+        findings = rule_findings(lint_graph(graph, rules=["AN009"]), "AN009")
+        assert findings and all(f.severity is Severity.WARNING for f in findings)
+        assert "picklable" in findings[0].message
+
+    def test_picklable_graph_is_clean(self):
+        from repro.operators.dedup import WindowedDistinct
+
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        op = graph.add_operator(WindowedDistinct(10), name="d")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, op)
+        graph.connect(op, sink)
+        assert rule_findings(lint_graph(graph, rules=["AN009"]), "AN009") == []
+
+    def test_cross_partition_aliased_state_errors(self):
+        from repro.operators.dedup import WindowedDistinct
+
+        a = WindowedDistinct(10, name="d1")
+        b = WindowedDistinct(10, name="d2")
+        b._last_seen = a._last_seen  # aliased mutable state
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        na = graph.add_operator(a, name="d1")
+        nb = graph.add_operator(b, name="d2")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, na)
+        graph.connect(na, nb)
+        graph.connect(nb, sink)
+        partitioning = Partitioning(
+            [Partition([na], name="p1"), Partition([nb], name="p2")]
+        )
+        findings = rule_findings(
+            lint_graph(graph, partitioning, rules=["AN009"]), "AN009"
+        )
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert len(errors) == 1
+        assert "alias" in errors[0].message
+        assert errors[0].nodes == ("d1", "d2")
+
+    def test_same_partition_aliasing_is_allowed(self):
+        from repro.operators.dedup import WindowedDistinct
+
+        a = WindowedDistinct(10, name="d1")
+        b = WindowedDistinct(10, name="d2")
+        b._last_seen = a._last_seen
+        graph = QueryGraph()
+        src = graph.add_source(ListSource([1]), name="src")
+        na = graph.add_operator(a, name="d1")
+        nb = graph.add_operator(b, name="d2")
+        sink = graph.add_sink(CollectingSink(), name="sink")
+        graph.connect(src, na)
+        graph.connect(na, nb)
+        graph.connect(nb, sink)
+        partitioning = Partitioning([Partition([na, nb], name="p")])
+        findings = rule_findings(
+            lint_graph(graph, partitioning, rules=["AN009"]), "AN009"
+        )
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
 
 
 class TestLintGraphAPI:

@@ -135,3 +135,76 @@ class TestThreading:
         values = {q.try_pop().value for _ in range(n_threads * per_thread)}
         assert len(values) == n_threads * per_thread
         assert q.empty
+
+
+class TestSpscFastPath:
+    """The lock-free point-to-point path must match the locked path."""
+
+    def test_fifo_and_punctuation_interleaving(self):
+        q = QueueOperator()
+        q.enable_spsc()
+        assert q.is_spsc
+        head = element(1, timestamp=1)
+        q.push(head)
+        q.push_many([element(2, timestamp=2), END_OF_STREAM, element(3, timestamp=3)])
+        assert len(q) == 4
+        assert q.oldest_seq() == head.seq
+        first = q.try_pop()
+        assert first.value == 1
+        drained = q.pop_many()
+        assert [d.value for d in drained if not is_end(d)] == [2, 3]
+        assert any(is_end(d) for d in drained)
+        assert q.empty
+
+    def test_pop_many_limit_and_counters(self):
+        q = QueueOperator()
+        q.enable_spsc()
+        q.push_many([element(i) for i in range(10)])
+        assert q.peak_size == 10
+        assert q.total_enqueued == 10
+        batch = q.pop_many(4)
+        assert [e.value for e in batch] == [0, 1, 2, 3]
+        assert q.oldest_seq() == q.pop_many(1)[0].seq
+        assert len(q) == 5
+
+    def test_disable_restores_locked_path(self):
+        q = QueueOperator()
+        baseline_push = q.push
+        q.enable_spsc()
+        assert q.push != baseline_push
+        q.push(element(1))
+        q.disable_spsc()
+        assert not q.is_spsc
+        q.push(element(2))
+        assert [q.try_pop().value, q.try_pop().value] == [1, 2]
+
+    def test_one_producer_one_consumer_stress(self):
+        q = QueueOperator()
+        q.enable_spsc()
+        n = 20_000
+        seen = []
+
+        def consumer():
+            while True:
+                for item in q.pop_many(64):
+                    if is_end(item):
+                        return
+                    seen.append(item.value)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        for start in range(0, n, 32):
+            q.push_many([element(v) for v in range(start, start + 32)])
+        q.push(END_OF_STREAM)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert seen == list(range(n))
+
+    def test_push_listener_still_fires(self):
+        q = QueueOperator()
+        q.enable_spsc()
+        hits = []
+        q.push_listener = lambda: hits.append(1)
+        q.push(element(1))
+        q.push_many([element(2), element(3)])
+        assert len(hits) == 2
