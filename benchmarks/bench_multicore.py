@@ -39,7 +39,7 @@ from typing import List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.engine import make_engine  # noqa: E402
+from repro.api import Engine  # noqa: E402
 from repro.core.modes import hmts_config  # noqa: E402
 from repro.graph.builder import QueryBuilder  # noqa: E402
 from repro.streams.sinks import CollectingSink  # noqa: E402
@@ -94,7 +94,7 @@ def run_backend(backend: str, n: int, batch: int = 64):
         backend=backend,
         batch_size=batch,
     )
-    engine = make_engine(graph, config)
+    engine = Engine.from_graph(graph, config=config)
     start = time.perf_counter()
     report = engine.run(timeout=600)
     seconds = time.perf_counter() - start

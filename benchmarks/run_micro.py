@@ -94,6 +94,38 @@ def bench_di_dispatch_batched(n: int, batch: int) -> int:
     return dispatcher.sink_deliveries
 
 
+#: Last metrics snapshot taken by the observed DI benchmark (written to
+#: ``--metrics-out`` so CI uploads it alongside the BENCH files).
+_LAST_OBS_SNAPSHOT: dict | None = None
+
+
+def bench_di_dispatch_observed(n: int, batch: int) -> int:
+    """Batched DI dispatch with the repro.obs registry enabled.
+
+    Paired against :func:`bench_di_dispatch_batched` as the baseline;
+    the pair's "speedup" is baseline/observed, so the enabled-metrics
+    overhead is ``1/speedup - 1`` (CI gates it at 10%).
+    """
+    global _LAST_OBS_SNAPSHOT
+    from repro.obs import MetricsRegistry
+
+    build = QueryBuilder()
+    sink = CountingSink()
+    stream = build.source(ListSource([]))
+    for selectivity in SELECTIVITIES:
+        stream = stream.where_fraction(selectivity)
+    stream.into(sink)
+    graph = build.graph(validate=False)
+    first = graph.successors(graph.sources()[0])[0]
+    registry = MetricsRegistry()
+    dispatcher = Dispatcher(graph, observer=registry)
+    elements = [StreamElement(value=i, timestamp=i) for i in range(n)]
+    for start in range(0, n, batch):
+        dispatcher.inject_batch(first, elements[start : start + batch])
+    _LAST_OBS_SNAPSHOT = registry.snapshot()
+    return dispatcher.sink_deliveries
+
+
 def bench_queue_roundtrip_scalar(n: int, batch: int) -> int:
     queue = QueueOperator()
     elements = [StreamElement(value=i) for i in range(n)]
@@ -234,6 +266,13 @@ PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
         "scalar": bench_di_dispatch_scalar,
         "batched": bench_di_dispatch_batched,
     },
+    # "scalar" = unobserved batched dispatch (baseline), "batched" =
+    # the same dispatch with the metrics registry attached — the
+    # inverse speedup is the enabled-observability overhead.
+    "di_dispatch_observed": {
+        "scalar": bench_di_dispatch_batched,
+        "batched": bench_di_dispatch_observed,
+    },
     "queue_roundtrip": {
         "scalar": bench_queue_roundtrip_scalar,
         "batched": bench_queue_roundtrip_batched,
@@ -261,6 +300,28 @@ PAIRS: Dict[str, Dict[str, Callable[[int, int], int]]] = {
         "batched": bench_fused_vo_chain_batched,
     },
 }
+
+
+def _measure_observe_overhead(n: int, batch: int, repeat: int) -> float:
+    """Enabled-metrics overhead on batched DI dispatch, as a fraction.
+
+    Measured separately from the PAIRS timings: the two variants are
+    interleaved run-for-run and each takes its best-of-``repeat``, so
+    scheduler/GC jitter hits both sides alike — a one-shot comparison
+    of two independently-timed benchmarks is far too noisy to gate on
+    at smoke sizes.
+    """
+    bench_di_dispatch_batched(n, batch)
+    bench_di_dispatch_observed(n, batch)
+    base = observed = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        bench_di_dispatch_batched(n, batch)
+        base = min(base, time.perf_counter() - start)
+        start = time.perf_counter()
+        bench_di_dispatch_observed(n, batch)
+        observed = min(observed, time.perf_counter() - start)
+    return observed / base - 1.0
 
 
 def _time_best(fn: Callable[[int, int], int], n: int, batch: int, repeat: int):
@@ -390,7 +451,26 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="emit cProfile top-20 cumulative hotspots per benchmark to stderr",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="where to write the observed run's metrics snapshot "
+        "(default: BENCH_metrics.json next to --out)",
+    )
+    parser.add_argument(
+        "--max-observe-overhead",
+        type=float,
+        default=None,
+        help="fail when enabled-metrics overhead on di_dispatch_observed "
+        "exceeds this fraction (<= 0 disables the gate; default 0.10 "
+        "under --smoke, disabled otherwise)",
+    )
     args = parser.parse_args(argv)
+    if args.metrics_out is None:
+        args.metrics_out = args.out.parent / "BENCH_metrics.json"
+    if args.max_observe_overhead is None:
+        args.max_observe_overhead = 0.10 if args.smoke else 0.0
     if args.smoke:
         args.n = min(args.n, 4_000)
         args.repeat = min(args.repeat, 2)
@@ -409,6 +489,7 @@ def main(argv: List[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError):
             previous = None  # corrupt history: start fresh, keep the run
     merged = merge_history(previous, report, _git_sha())
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(merged, indent=2) + "\n")
 
     print(f"n={args.n} batch={args.batch} repeat={args.repeat}")
@@ -426,9 +507,30 @@ def main(argv: List[str] | None = None) -> int:
                 f" batched={entry['batched']['result']!r}"
             )
     print(f"wrote {args.out}")
+    if _LAST_OBS_SNAPSHOT is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            json.dumps(_LAST_OBS_SNAPSHOT, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.metrics_out}")
     if mismatched:
         print(f"FAILED: batched/scalar result mismatch in {', '.join(mismatched)}")
         return 1
+    if args.max_observe_overhead > 0:
+        # Measure at >= 20k elements even under --smoke: a ~9ms run is
+        # dominated by fixed costs and interpreter jitter, which makes a
+        # percentage gate meaningless.
+        overhead = _measure_observe_overhead(
+            max(args.n, 20_000), args.batch, max(args.repeat, 7)
+        )
+        print(f"observability overhead: {overhead * 100:+.1f}%")
+        if overhead > args.max_observe_overhead:
+            print(
+                "FAILED: enabled-metrics overhead "
+                f"{overhead * 100:.1f}% exceeds the "
+                f"{args.max_observe_overhead * 100:.0f}% budget"
+            )
+            return 1
     return 0
 
 

@@ -5,20 +5,28 @@ Demonstrates the core workflow of the library:
 1. compose a query graph with the fluent builder,
 2. decide where the decoupling queues go (here: everywhere),
 3. execute it under one of the paper's scheduling architectures
-   (graph-threaded scheduling with the FIFO strategy),
-4. inspect the results and the engine report.
+   (graph-threaded scheduling with the FIFO strategy) through the
+   unified ``open_engine`` facade,
+4. inspect the results and the engine report — with ``--observe``, the
+   runtime metrics snapshot too, and with ``--trace`` the scheduler
+   event ring.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--observe] [--trace]
+
+(Pre-1.0 code built engines with ``ThreadedEngine(graph, config)`` or
+``make_engine``; both still work, but ``open_engine`` /
+``Engine.from_graph`` is the supported construction path now.)
 """
+
+import argparse
 
 from repro import (
     CollectingSink,
     ConstantRateSource,
     QueryBuilder,
-    ThreadedEngine,
-    gts_config,
+    open_engine,
 )
 
 
@@ -59,7 +67,21 @@ def build_graph():
     return graph, partitioning
 
 
-def main() -> None:
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(description="repro quickstart")
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="enable the runtime observability layer and print metrics",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="dump the scheduler event ring after the run (implies --observe)",
+    )
+    args = parser.parse_args([] if argv is None else argv)
+    observe = args.observe or args.trace
+
     # 1. A query: keep readings above a threshold, convert units, and
     #    count them over a sliding one-second window.
     graph, sink = build_query()
@@ -70,8 +92,11 @@ def main() -> None:
     graph.decouple_all()
 
     # 3. Run under graph-threaded scheduling: one scheduler thread
-    #    drives all queues in FIFO order.
-    report = ThreadedEngine(graph, gts_config(graph, "fifo")).run(timeout=60)
+    #    drives all queues in FIFO order.  The facade picks the backend
+    #    from the config (thread by default) and guarantees teardown.
+    with open_engine(graph, "gts", strategy="fifo", observe=observe) as eng:
+        report = eng.run(timeout=60)
+        tracer = eng.tracer
 
     # 4. Results.
     print(f"mode            : {report.mode.value}")
@@ -82,6 +107,23 @@ def main() -> None:
     for queue, peak in sorted(report.queue_peaks.items()):
         print(f"queue peak      : {queue} -> {peak}")
 
+    # 5. Observability (--observe / --trace).
+    if report.metrics is not None:
+        print("\n-- metrics (per operator) --")
+        for name, op in sorted(report.metrics["operators"].items()):
+            sel = op["selectivity"]
+            print(
+                f"{name:12s} in={op['elements_in']:<6d} "
+                f"out={op['elements_out']:<6d} "
+                f"sel={sel if sel is None else round(sel, 3)} "
+                f"service_ns={op['service_ns_total']}"
+            )
+    if args.trace and tracer is not None:
+        print("\n-- event trace --")
+        print(tracer.dump())
+
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

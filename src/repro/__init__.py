@@ -18,7 +18,7 @@ The package provides:
 Quickstart::
 
     from repro import QueryBuilder, ConstantRateSource, CollectingSink
-    from repro import gts_config, ThreadedEngine
+    from repro import open_engine
 
     build = QueryBuilder("demo")
     sink = CollectingSink()
@@ -28,10 +28,16 @@ Quickstart::
           .into(sink))
     graph = build.graph()
     graph.decouple_all()
-    ThreadedEngine(graph, gts_config(graph)).run()
+    with open_engine(graph, "gts", observe=True) as eng:
+        report = eng.run()
     print(len(sink.elements), "results")
+    print(report.metrics["operators"])
+
+(``ThreadedEngine(graph, gts_config(graph))`` still works; the facade
+in :mod:`repro.api` is the supported construction path since 1.0.)
 """
 
+from repro.api import Engine, open_engine
 from repro.core import (
     CapacityAggregate,
     ChainStrategy,
@@ -58,7 +64,8 @@ from repro.core import (
     segment_partitioning,
     stall_avoiding_partitioning,
 )
-from repro.errors import ReproError
+from repro.core.engine import make_engine
+from repro.errors import ReproError, SanitizerError, SchedulingError
 from repro.graph import (
     Edge,
     Node,
@@ -103,6 +110,12 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "SanitizerError",
+    "SchedulingError",
+    # facade
+    "Engine",
+    "open_engine",
+    "make_engine",  # deprecated shim
     # graph
     "Edge",
     "Node",

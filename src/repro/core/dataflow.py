@@ -71,6 +71,7 @@ from typing import (
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import ConcurrencySanitizer
+    from repro.obs.registry import MetricsRegistry, OperatorMetrics
 
 from repro.errors import SchedulingError
 from repro.graph.node import Node
@@ -130,6 +131,13 @@ class Dispatcher:
             thread touching a node's state without a node lock is a
             data race).  None (the default) constructs no wrappers and
             leaves the hot path untouched.
+        observer: Optional :class:`repro.obs.registry.MetricsRegistry`;
+            when given, every operator invocation updates that node's
+            :class:`~repro.obs.registry.OperatorMetrics` (elements
+            in/out, invocations, service time, batch size) inside the
+            node's dispatch serialization.  None (the default) adds no
+            timing or branches to the hot path and keeps the compiled
+            dispatch plans byte-identical to an unobserved dispatcher.
     """
 
     def __init__(
@@ -138,9 +146,16 @@ class Dispatcher:
         stats: Optional[StatisticsRegistry] = None,
         locking: bool = False,
         sanitizer: Optional["ConcurrencySanitizer"] = None,
+        observer: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.graph = graph
         self.stats = stats
+        self.observer = observer
+        # One timing bracket serves both consumers; per-node instruments
+        # are cached in a side dict so the plan entries stay identical
+        # with and without observation.
+        self._timed = stats is not None or observer is not None
+        self._op_metrics: Dict[Node, "OperatorMetrics"] = {}
         #: Number of elements delivered to sinks so far.
         self.sink_deliveries: int = 0
         #: Number of elements processed by operator invocations so far
@@ -549,6 +564,14 @@ class Dispatcher:
             with lock:
                 self.sink_deliveries += n
 
+    def _metrics_for(self, node: Node) -> "OperatorMetrics":
+        metrics = self._op_metrics.get(node)
+        if metrics is None:
+            assert self.observer is not None
+            metrics = self.observer.operator(node.name)
+            self._op_metrics[node] = metrics
+        return metrics
+
     def _invoke(
         self, node: Node, element: StreamElement, port: int
     ) -> List[StreamElement]:
@@ -557,13 +580,25 @@ class Dispatcher:
             # locking=False under the sanitizer: no node lock serializes
             # this operator, so a second thread here is a data race.
             self._access_check(node, node.name)
-        with self._lock_for(node):
-            if self.stats is None:
+        if not self._timed:
+            with self._lock_for(node):
                 return node.operator.process(element, port)
+        with self._lock_for(node):
             started = time.perf_counter_ns()
             outputs = node.operator.process(element, port)
             elapsed = time.perf_counter_ns() - started
-        self.stats.observe(node, arrival_ns=element.timestamp, processing_ns=elapsed)
+            if self.observer is not None:
+                # Inside the node lock: the lock (or, with locking=False,
+                # the single thread owning this node) serializes writers
+                # per instrument, keeping updates lock-free.
+                metrics = self._op_metrics.get(node) or self._metrics_for(node)
+                metrics.observe(
+                    1, len(outputs), elapsed, element.timestamp, element.timestamp
+                )
+        if self.stats is not None:
+            self.stats.observe(
+                node, arrival_ns=element.timestamp, processing_ns=elapsed
+            )
         return outputs
 
     def _invoke_batch(
@@ -572,19 +607,31 @@ class Dispatcher:
         self._count_invocations(len(elements))
         if self._access_check is not None:
             self._access_check(node, node.name)
-        with self._lock_for(node):
-            if self.stats is None:
+        if not self._timed:
+            with self._lock_for(node):
                 return node.operator.process_batch(elements, port)
+        n_in = len(elements)
+        first_ts = elements[0].timestamp
+        last_ts = elements[-1].timestamp
+        with self._lock_for(node):
             started = time.perf_counter_ns()
             outputs = node.operator.process_batch(elements, port)
             elapsed = time.perf_counter_ns() - started
-        # Amortize the batch's processing time over its elements so the
-        # measured per-element cost c(v) stays comparable to the scalar
-        # path; arrivals keep their own timestamps for d(v).
-        per_element = elapsed / len(elements)
-        observe = self.stats.observe
-        for element in elements:
-            observe(node, arrival_ns=element.timestamp, processing_ns=per_element)
+            if self.observer is not None:
+                metrics = self._op_metrics.get(node) or self._metrics_for(node)
+                metrics.observe(
+                    n_in, len(outputs), elapsed, first_ts, last_ts
+                )
+        if self.stats is not None:
+            # Amortize the batch's processing time over its elements so
+            # the measured per-element cost c(v) stays comparable to the
+            # scalar path; arrivals keep their own timestamps for d(v).
+            per_element = elapsed / n_in
+            observe = self.stats.observe
+            for element in elements:
+                observe(
+                    node, arrival_ns=element.timestamp, processing_ns=per_element
+                )
         return outputs
 
     def _fan_out(

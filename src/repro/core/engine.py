@@ -35,12 +35,19 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import ConcurrencySanitizer
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import EventTracer
 
 from repro.core.dataflow import Dispatcher
 from repro.core.modes import EngineConfig, PartitionSpec, SchedulingMode
 from repro.core.partition import di_region
 from repro.core.thread_scheduler import ThreadScheduler
-from repro.errors import EngineStateError, SchedulingError
+from repro.errors import (
+    EngineStateError,
+    ReproError,
+    SanitizerError,
+    SchedulingError,
+)
 from repro.graph.node import Node
 from repro.graph.query_graph import Edge, QueryGraph
 from repro.operators.queue_op import QueueOperator
@@ -58,7 +65,7 @@ __all__ = [
 _POLL_SECONDS = 0.01
 
 
-def make_engine(
+def _construct_engine(
     graph: QueryGraph,
     config: EngineConfig,
     stats: Optional[StatisticsRegistry] = None,
@@ -82,6 +89,27 @@ def make_engine(
 
         return ProcessEngine(graph, config)
     return ThreadedEngine(graph, config, stats)
+
+
+def make_engine(
+    graph: QueryGraph,
+    config: EngineConfig,
+    stats: Optional[StatisticsRegistry] = None,
+):
+    """Deprecated: use :class:`repro.api.Engine` / ``open_engine``.
+
+    Thin shim kept for source compatibility with pre-facade call sites;
+    behaves exactly like the facade's construction path.
+    """
+    import warnings
+
+    warnings.warn(
+        "make_engine() is deprecated; use repro.api.Engine.from_graph() "
+        "or the open_engine() context manager instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _construct_engine(graph, config, stats)
 
 
 def spsc_eligible_queues(
@@ -144,10 +172,19 @@ class EngineReport:
         memory_samples: Optional ``(wall_ns, total_queued)`` series
             sampled during the run.
         aborted: True when the run hit the timeout and was aborted.
-        failure: Human-readable description of a fatal worker failure
-            (process backend: a crashed or erroring worker), None on a
-            clean run.  Engines raise by default; this field carries
-            the diagnosis when a caller asks for a report instead.
+        failure: Human-readable description of a fatal failure (a
+            crashed/erroring worker, or sanitizer findings), None on a
+            clean run.  Engines raise by default *and* populate this
+            field — the raised exception carries this report on its
+            ``.report`` attribute; pass ``raise_on_failure=False`` to
+            ``run()`` to get the report without the raise.
+        metrics: Final observability snapshot
+            (:meth:`repro.obs.registry.MetricsRegistry.snapshot` shape:
+            ``operators`` / ``queues`` / ``partitions`` / ``scheduler``
+            sections) when the engine ran with
+            ``EngineConfig.observe=True``; None otherwise.  On the
+            process backend this is the control-plane-aggregated view
+            over every worker's registry.
     """
 
     mode: SchedulingMode
@@ -158,6 +195,7 @@ class EngineReport:
     memory_samples: List[tuple[int, int]] = field(default_factory=list)
     aborted: bool = False
     failure: Optional[str] = None
+    metrics: Optional[dict] = None
 
     @property
     def total_results(self) -> int:
@@ -201,8 +239,22 @@ class ThreadedEngine:
             self.sanitizer = ConcurrencySanitizer(
                 starvation_grant_bound=config.sanitize_starvation_grants
             )
+        #: Observability registry and tracer, when ``config.observe`` is
+        #: set.  None otherwise — :mod:`repro.obs` is then never even
+        #: imported, and the dispatcher compiles the exact same plans.
+        self.metrics: Optional["MetricsRegistry"] = None
+        self.tracer: Optional["EventTracer"] = None
+        if config.observe:
+            from repro.obs import EventTracer, MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+            self.tracer = EventTracer(capacity=config.trace_capacity)
         self.dispatcher = Dispatcher(
-            graph, stats=stats, locking=True, sanitizer=self.sanitizer
+            graph,
+            stats=stats,
+            locking=True,
+            sanitizer=self.sanitizer,
+            observer=self.metrics,
         )
         #: Queues running the lock-free SPSC fast path this run.
         self.spsc_queues: List[Node] = []
@@ -234,6 +286,8 @@ class ThreadedEngine:
                 watchdog=(
                     self.sanitizer.watchdog if self.sanitizer is not None else None
                 ),
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
         self._apply_spsc()
 
@@ -268,6 +322,7 @@ class ThreadedEngine:
         self,
         timeout: float | None = None,
         sample_interval_s: float | None = None,
+        raise_on_failure: bool = True,
     ) -> EngineReport:
         """Execute the graph to completion (blocking).
 
@@ -275,9 +330,15 @@ class ThreadedEngine:
             timeout: Abort the run after this many wall seconds.
             sample_interval_s: When given, sample the total queued
                 element count at this period into the report.
+            raise_on_failure: When True (default) a failed worker or
+                sanitizer finding raises (``SchedulingError`` /
+                ``SanitizerError``, with the report attached on the
+                exception's ``.report``); when False the failure is
+                only recorded in ``EngineReport.failure``.
 
         Returns:
-            The run report; ``aborted`` is True on timeout.
+            The run report; ``aborted`` is True on timeout and
+            ``failure`` carries the diagnosis of any fatal condition.
         """
         self.start()
         samples: List[tuple[int, int]] = []
@@ -290,21 +351,43 @@ class ThreadedEngine:
                 daemon=True,
             )
             sampler.start()
+        obs_sampler = None
+        if self.metrics is not None:
+            from repro.obs import PeriodicSampler
+
+            obs_sampler = PeriodicSampler(
+                self._sync_queue_metrics,
+                interval_s=self.config.observe_sample_interval_s,
+            ).start()
         finished = self.join(timeout)
         if not finished:
             self.abort()
             self.join(None)
         if sampler is not None:
             sampler.join()
+        if obs_sampler is not None:
+            obs_sampler.stop(final_sample=True)
+        # The report is always built — even on failure — so the raised
+        # exception can carry the partial results on `.report`.
+        report = self._report(samples, aborted=not finished)
+        failure_exc: Optional[ReproError] = None
         if self.errors:
             name, error = self.errors[0]
-            raise SchedulingError(
-                f"engine thread {name!r} failed: {error!r}"
-            ) from error
-        if self.sanitizer is not None:
+            report.failure = f"engine thread {name!r} failed: {error!r}"
+            failure_exc = SchedulingError(report.failure)
+            failure_exc.__cause__ = error
+        elif self.sanitizer is not None:
             # A sanitized run must be concurrency-clean end to end.
-            self.sanitizer.raise_if_findings()
-        return self._report(samples, aborted=not finished)
+            try:
+                self.sanitizer.raise_if_findings()
+            except SanitizerError as error:
+                report.failure = str(error)
+                failure_exc = error
+        if failure_exc is not None:
+            failure_exc.report = report
+            if raise_on_failure:
+                raise failure_exc
+        return report
 
     def start(self) -> None:
         """Start source and worker threads without blocking."""
@@ -356,6 +439,18 @@ class ThreadedEngine:
         if self.thread_scheduler is not None:
             self.thread_scheduler.stop()
 
+    def close(self) -> None:
+        """Tear down whatever is still running (idempotent).
+
+        Interface parity with the process backend so the
+        :mod:`repro.api` facade can always ``close()`` on context
+        exit: aborts and joins the worker threads when the engine was
+        started and has not finished; a no-op otherwise.
+        """
+        if self._started and not self._finished.is_set():
+            self.abort()
+            self.join(None)
+
     # ------------------------------------------------------------------
     # Runtime flexibility (paper Sections 4.2.2 / 5.1.3)
     # ------------------------------------------------------------------
@@ -384,10 +479,31 @@ class ThreadedEngine:
         with self._work_condition:
             while self._active_workers > 0:
                 self._work_condition.wait(_POLL_SECONDS)
+        if self.tracer is not None:
+            self.tracer.record("pause", "engine")
 
     def resume(self) -> None:
         """Resume after :meth:`pause`."""
+        if self.tracer is not None:
+            self.tracer.record("resume", "engine")
         self._resume.set()
+
+    def set_priority(self, partition_name: str, priority: float) -> None:
+        """Adapt a partition's level-3 base priority at runtime.
+
+        Mirrors :meth:`repro.mp.process_engine.ProcessEngine.set_priority`
+        so the facade exposes one surface on both backends.
+        """
+        with self._reconfig_lock:
+            for spec in self._partitions:
+                if spec.name == partition_name:
+                    spec.priority = priority
+                    if self.thread_scheduler is not None:
+                        self.thread_scheduler.set_priority(
+                            f"{partition_name}@{self._generation}", priority
+                        )
+                    return
+            raise SchedulingError(f"unknown partition {partition_name!r}")
 
     def reconfigure(self, partitions: List[PartitionSpec]) -> None:
         """Switch the partition layout (and thus the scheduling mode).
@@ -412,6 +528,12 @@ class ThreadedEngine:
             generation = self._generation
             self._partitions = list(partitions)
             self._apply_spsc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    "reconfigure",
+                    "engine",
+                    layout=",".join(spec.name for spec in partitions),
+                )
             if self._started and not self._abort.is_set():
                 for spec in partitions:
                     self._start_partition(spec, generation)
@@ -495,6 +617,8 @@ class ThreadedEngine:
             self._source_worker_inner(node)
         except BaseException as error:  # noqa: BLE001 - report any failure
             self.errors.append((f"source:{node.name}", error))
+            if self.tracer is not None:
+                self.tracer.record("crash", f"source:{node.name}", error=repr(error))
             self.abort()
 
     def _source_worker_inner(self, node: Node) -> None:
@@ -530,6 +654,8 @@ class ThreadedEngine:
                 batch = []
         if batch:
             self._inject_source_batch(node, batch)
+        if self.tracer is not None:
+            self.tracer.record("end", f"source:{node.name}")
         with self._work_gate():
             for edge in self.graph.out_edges(node):
                 self.dispatcher.inject_end(edge.consumer, edge.port)
@@ -552,6 +678,10 @@ class ThreadedEngine:
             self._partition_worker_inner(spec, generation)
         except BaseException as error:  # noqa: BLE001 - report any failure
             self.errors.append((f"partition:{spec.name}", error))
+            if self.tracer is not None:
+                self.tracer.record(
+                    "crash", f"partition:{spec.name}", error=repr(error)
+                )
             self.abort()
 
     def _partition_worker_inner(
@@ -561,6 +691,9 @@ class ThreadedEngine:
         wake = threading.Event()
         unit_id = f"{spec.name}@{generation}"
         ts = self.thread_scheduler
+        partition_metrics = (
+            self.metrics.partition(spec.name) if self.metrics is not None else None
+        )
 
         def queue_ops() -> list[QueueOperator]:
             ops = []
@@ -599,20 +732,43 @@ class ThreadedEngine:
                         continue
                     try:
                         with self._work_gate():
+                            if partition_metrics is None:
+                                self.dispatcher.run_queue(
+                                    queue_node,
+                                    self.config.batch_limit,
+                                    self.config.batch_size,
+                                )
+                            else:
+                                started_ns = time.perf_counter_ns()
+                                processed = self.dispatcher.run_queue(
+                                    queue_node,
+                                    self.config.batch_limit,
+                                    self.config.batch_size,
+                                )
+                                partition_metrics.observe_grant(
+                                    processed,
+                                    time.perf_counter_ns() - started_ns,
+                                )
+                    finally:
+                        ts.release(unit_id)
+                else:
+                    with self._work_gate():
+                        if partition_metrics is None:
                             self.dispatcher.run_queue(
                                 queue_node,
                                 self.config.batch_limit,
                                 self.config.batch_size,
                             )
-                    finally:
-                        ts.release(unit_id)
-                else:
-                    with self._work_gate():
-                        self.dispatcher.run_queue(
-                            queue_node,
-                            self.config.batch_limit,
-                            self.config.batch_size,
-                        )
+                        else:
+                            started_ns = time.perf_counter_ns()
+                            processed = self.dispatcher.run_queue(
+                                queue_node,
+                                self.config.batch_limit,
+                                self.config.batch_size,
+                            )
+                            partition_metrics.observe_grant(
+                                processed, time.perf_counter_ns() - started_ns
+                            )
         finally:
             for op in queue_ops():
                 if op.push_listener is wake.set:
@@ -637,6 +793,15 @@ class ThreadedEngine:
             ops.append(payload)
         return ops
 
+    def _sync_queue_metrics(self) -> None:
+        """Fold every queue's counters into the registry (sampler tick)."""
+        assert self.metrics is not None
+        for node in self.graph.queues():
+            payload = node.payload
+            assert isinstance(payload, QueueOperator)
+            depth, high_water, pushed = payload.stats_view()
+            self.metrics.queue(node.name).sync(depth, high_water, pushed)
+
     def _report(
         self, samples: List[tuple[int, int]], aborted: bool
     ) -> EngineReport:
@@ -651,6 +816,12 @@ class ThreadedEngine:
         queue_peaks = {
             node.name: node.payload.peak_size for node in self.graph.queues()
         }
+        metrics = None
+        if self.metrics is not None:
+            # Workers have quiesced by now, so this final snapshot is
+            # exact (the periodic samples were torn-tolerant views).
+            self._sync_queue_metrics()
+            metrics = self.metrics.snapshot()
         return EngineReport(
             mode=self.config.mode,
             wall_ns=time.monotonic_ns() - self._start_wall_ns,
@@ -659,4 +830,5 @@ class ThreadedEngine:
             queue_peaks=queue_peaks,
             memory_samples=samples,
             aborted=aborted,
+            metrics=metrics,
         )

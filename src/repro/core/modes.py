@@ -135,6 +135,21 @@ class EngineConfig:
             off, no instrumentation objects are constructed at all.
         sanitize_starvation_grants: Watchdog bound ``N``: every ready
             unit must be granted within N grants to other units.
+        observe: Enable the runtime observability layer
+            (:mod:`repro.obs`): a per-engine
+            :class:`~repro.obs.registry.MetricsRegistry` with
+            per-operator / per-queue / per-partition / per-scheduler-
+            unit instruments, a bounded ring-buffer event tracer, and a
+            periodic sampler thread; the final metrics snapshot lands
+            in ``EngineReport.metrics``.  Defaults to the
+            ``REPRO_OBSERVE`` environment variable (unset/0 = off).
+            When off, :mod:`repro.obs` is never even imported and the
+            compiled dispatch plans are byte-identical to an
+            unobserved engine.
+        observe_sample_interval_s: Sampler period for queue depths (and
+            in the process backend, worker snapshot polls).
+        trace_capacity: Events retained by the ring-buffer tracer;
+            older events are overwritten once full.
     """
 
     mode: SchedulingMode
@@ -152,6 +167,11 @@ class EngineConfig:
         default_factory=lambda: os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
     )
     sanitize_starvation_grants: int = 1000
+    observe: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_OBSERVE", "") not in ("", "0")
+    )
+    observe_sample_interval_s: float = 0.05
+    trace_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.backend not in ("thread", "process"):
@@ -165,6 +185,15 @@ class EngineConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise SchedulingError(
                 f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
+        if self.observe_sample_interval_s <= 0:
+            raise SchedulingError(
+                "observe_sample_interval_s must be > 0, got "
+                f"{self.observe_sample_interval_s}"
+            )
+        if self.trace_capacity < 1:
+            raise SchedulingError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
         names = [partition.name for partition in self.partitions]
         if len(names) != len(set(names)):

@@ -187,6 +187,46 @@ class Partitioning:
         """``cap(P_i)`` for every partition, in partition order."""
         return [partition.capacity_ns() for partition in self.partitions]
 
+    def queue_groups(self, graph: QueryGraph) -> list[list[Node]]:
+        """Group ``graph``'s decoupling queues by consuming partition.
+
+        The level-2 unit that *consumes* from a queue is the one that
+        must schedule it, so each queue is assigned to the partition of
+        its consumer; a queue whose consumer is unassigned (e.g. a
+        sink) falls back to its producer's partition.  This is how the
+        :mod:`repro.api` facade turns an operator-level partitioning
+        into the queue groups :func:`repro.core.modes.hmts_config`
+        expects; partitions that end up owning no queues (pure source
+        regions) contribute no group.
+
+        Raises:
+            PartitionError: when a queue touches no partitioned node.
+        """
+        groups: Dict[int, list[Node]] = {
+            id(partition): [] for partition in self.partitions
+        }
+        for queue_node in graph.queues():
+            owner = None
+            for edge in graph.out_edges(queue_node):
+                if edge.consumer in self._owner:
+                    owner = self._owner[edge.consumer]
+                    break
+            if owner is None:
+                for edge in graph.in_edges(queue_node):
+                    if edge.producer in self._owner:
+                        owner = self._owner[edge.producer]
+                        break
+            if owner is None:
+                raise PartitionError(
+                    f"queue {queue_node.name!r} touches no partitioned node"
+                )
+            groups[id(owner)].append(queue_node)
+        return [
+            groups[id(partition)]
+            for partition in self.partitions
+            if groups[id(partition)]
+        ]
+
     def negative_partitions(self) -> list[Partition]:
         """Partitions violating the ``cap(P) >= 0`` constraint."""
         return [p for p in self.partitions if p.capacity_ns() < 0]

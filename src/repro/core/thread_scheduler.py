@@ -42,6 +42,8 @@ from repro.errors import SchedulingError
 
 if TYPE_CHECKING:
     from repro.analysis.sanitizer import StarvationWatchdog
+    from repro.obs.registry import MetricsRegistry, SchedulerUnitMetrics
+    from repro.obs.tracer import EventTracer
 
 __all__ = ["ThreadScheduler"]
 
@@ -59,6 +61,8 @@ class _UnitState:
     running: bool = False
     grants: int = 0
     total_wait_ns: int = field(default=0)
+    #: When the unit claimed its current permit (observability only).
+    running_since_ns: Optional[int] = None
 
 
 class ThreadScheduler:
@@ -77,6 +81,16 @@ class ThreadScheduler:
             left waiting while more than its bound of grants go to
             other units produces a sanitizer finding.  None (default)
             adds no per-grant work.
+        metrics: Optional :class:`repro.obs.registry.MetricsRegistry`;
+            when set, every unit's grants, wait time, run time,
+            starvation-prevention boosts (a grant won through aging
+            over a higher-base-priority waiter) and cooperative
+            preemptions (yielding the permit while a strictly
+            higher-effective-priority waiter takes over) are recorded
+            in per-unit :class:`~repro.obs.registry.SchedulerUnitMetrics`.
+        tracer: Optional :class:`repro.obs.tracer.EventTracer`; when
+            set, ``schedule``/``boost``/``preempt`` events are recorded
+            per grant decision.
     """
 
     def __init__(
@@ -84,6 +98,8 @@ class ThreadScheduler:
         max_concurrency: Optional[int] = None,
         aging_ns: float = 50_000_000.0,
         watchdog: Optional["StarvationWatchdog"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["EventTracer"] = None,
     ) -> None:
         if max_concurrency is not None and max_concurrency < 1:
             raise SchedulingError("max_concurrency must be >= 1 or None")
@@ -92,6 +108,11 @@ class ThreadScheduler:
         self._max_concurrency = max_concurrency
         self._aging_ns = aging_ns
         self._watchdog = watchdog
+        self._metrics = metrics
+        self._tracer = tracer
+        #: Per-unit instrument cache (updates happen under self._lock,
+        #: which serializes all writers per instrument).
+        self._unit_metrics: Dict[str, "SchedulerUnitMetrics"] = {}
         self._lock = threading.Lock()
         self._units: Dict[str, _UnitState] = {}
         self._running = 0
@@ -157,6 +178,14 @@ class ThreadScheduler:
                 state.running = True
                 state.grants += 1
                 self._running += 1
+                if self._metrics is not None or self._tracer is not None:
+                    state.running_since_ns = time.monotonic_ns()
+                    if self._metrics is not None:
+                        self._unit_metrics_for(unit_id).grants += 1
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            "schedule", unit_id, priority=state.priority
+                        )
                 return True
             state.waiting_since_ns = time.monotonic_ns()
             if self._watchdog is not None:
@@ -172,13 +201,19 @@ class ThreadScheduler:
                 if state.granted:
                     state.granted = False
                     self._granted -= 1
-                    state.total_wait_ns += (
-                        time.monotonic_ns() - state.waiting_since_ns
-                    )
+                    now_ns = time.monotonic_ns()
+                    waited_ns = now_ns - state.waiting_since_ns
+                    state.total_wait_ns += waited_ns
                     state.waiting_since_ns = None
                     state.running = True
                     state.grants += 1
                     self._running += 1
+                    if self._metrics is not None:
+                        unit_metrics = self._unit_metrics_for(unit_id)
+                        unit_metrics.grants += 1
+                        unit_metrics.wait_ns_total += waited_ns
+                    if self._metrics is not None or self._tracer is not None:
+                        state.running_since_ns = now_ns
                     return True
                 remaining = None
                 if deadline is not None:
@@ -200,7 +235,33 @@ class ThreadScheduler:
                 raise SchedulingError(f"unit {unit_id!r} released without permit")
             state.running = False
             self._running -= 1
+            observing = self._metrics is not None or self._tracer is not None
+            preemptor: Optional[str] = None
+            if observing:
+                now_ns = time.monotonic_ns()
+                if state.running_since_ns is not None:
+                    run_ns = now_ns - state.running_since_ns
+                    state.running_since_ns = None
+                    if self._metrics is not None:
+                        self._unit_metrics_for(unit_id).run_ns_total += run_ns
+                # A cooperative preemption: the freed permit goes to a
+                # waiter whose effective priority strictly exceeds the
+                # releasing unit's own.
+                if self._max_concurrency is not None:
+                    best_eff = state.priority
+                    for uid, other in self._units.items():
+                        if other.waiting_since_ns is None or other.granted:
+                            continue
+                        effective = self._effective_priority(other, now_ns)
+                        if effective > best_eff:
+                            best_eff = effective
+                            preemptor = uid
             self._regrant()
+            if preemptor is not None and self._units[preemptor].granted:
+                if self._metrics is not None:
+                    self._unit_metrics_for(unit_id).preemptions += 1
+                if self._tracer is not None:
+                    self._tracer.record("preempt", unit_id, to=preemptor)
 
     def stop(self) -> None:
         """Wake every waiter with a denial; further acquires fail fast."""
@@ -253,6 +314,14 @@ class ThreadScheduler:
         except KeyError:
             raise SchedulingError(f"unknown unit {unit_id!r}") from None
 
+    def _unit_metrics_for(self, unit_id: str) -> "SchedulerUnitMetrics":
+        unit_metrics = self._unit_metrics.get(unit_id)
+        if unit_metrics is None:
+            assert self._metrics is not None
+            unit_metrics = self._metrics.scheduler_unit(unit_id)
+            self._unit_metrics[unit_id] = unit_metrics
+        return unit_metrics
+
     def _effective_priority(self, state: _UnitState, now_ns: int) -> float:
         if state.waiting_since_ns is None:
             return state.priority
@@ -287,6 +356,23 @@ class ThreadScheduler:
             self._granted += 1
             state.condition.notify()
             granted.append(uid)
+        if granted and (self._metrics is not None or self._tracer is not None):
+            for uid in granted:
+                grantee = self._units[uid]
+                if self._tracer is not None:
+                    self._tracer.record("schedule", uid, priority=grantee.priority)
+                # Starvation prevention fired: the grant was won through
+                # aging while a higher-base-priority unit is still waiting.
+                boosted = any(
+                    other.priority > grantee.priority
+                    for other in self._units.values()
+                    if other.waiting_since_ns is not None and not other.granted
+                )
+                if boosted:
+                    if self._metrics is not None:
+                        self._unit_metrics_for(uid).boosts += 1
+                    if self._tracer is not None:
+                        self._tracer.record("boost", uid, priority=grantee.priority)
         if self._watchdog is not None and granted:
             still_waiting = tuple(
                 uid

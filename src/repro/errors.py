@@ -9,7 +9,19 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Attributes:
+        report: When an execution engine raises after a run has already
+            produced results, the engine attaches its
+            :class:`~repro.core.engine.EngineReport` here (with
+            ``report.failure`` describing the fatal condition), so
+            callers can inspect partial sink counts, queue peaks, and
+            metrics even on a failed run.  None for errors raised before
+            any run started.
+    """
+
+    report = None  # type: object | None
 
 
 class GraphError(ReproError):

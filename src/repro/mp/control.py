@@ -22,12 +22,20 @@ Parent -> worker
         ThreadScheduler).
     ``("stop",)``
         Abort: exit at the next safe point, reporting stats.
+    ``("metrics",)``
+        Observability poll (only sent when ``EngineConfig.observe`` is
+        on): ask the worker for a cumulative metrics snapshot.
 
 Worker -> parent
     ``("ready",)`` — worker finished setup and entered its loop.
     ``("paused", snapshot_or_none)`` — pause ack.
     ``("done", stats)`` — normal completion (or retirement); ``stats``
-    is a :class:`WorkerStats` payload dict.
+    is a :class:`WorkerStats` payload dict (with a ``"metrics"`` key
+    holding the worker's exact final registry snapshot when observing).
+    ``("metrics", snapshot)`` — reply to a metrics poll; cumulative
+    ``MetricsRegistry.snapshot()`` dict (``None`` when not observing).
+    The parent keeps the latest per worker and merges them with
+    :func:`repro.obs.merge_snapshots` at report time.
     ``("error", traceback_text)`` — the worker failed; the engine
     surfaces this as a run failure.
 

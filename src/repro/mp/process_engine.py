@@ -47,7 +47,12 @@ import multiprocessing
 import threading
 import time
 from multiprocessing import connection
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.sampler import PeriodicSampler
+    from repro.obs.tracer import EventTracer
 
 from repro.core.modes import EngineConfig, PartitionSpec
 from repro.core.partition import di_region
@@ -148,11 +153,26 @@ class ProcessEngine:
         self._reconfig_lock = threading.RLock()
         self._pump_thread: Optional[threading.Thread] = None
         self._permit_threads: List[threading.Thread] = []
+        #: Parent-side observability: the parent's own registry holds
+        #: the level-3 scheduler instruments (the TS runs here); worker
+        #: registries arrive as snapshots over the control plane and are
+        #: merged into one view at report time.
+        self.metrics: Optional["MetricsRegistry"] = None
+        self.tracer: Optional["EventTracer"] = None
+        self._obs_sampler: Optional["PeriodicSampler"] = None
+        self._worker_metrics: Dict[str, dict] = {}
+        if config.observe:
+            from repro.obs import EventTracer, MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+            self.tracer = EventTracer(capacity=config.trace_capacity)
         self.thread_scheduler: Optional[ThreadScheduler] = None
         if config.max_concurrency is not None:
             self.thread_scheduler = ThreadScheduler(
                 max_concurrency=config.max_concurrency,
                 aging_ns=config.aging_ns,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
         # Swap every queue payload for a ring-backed proxy *before* any
         # fork, so all workers inherit the same transport objects.
@@ -193,10 +213,15 @@ class ProcessEngine:
                     self.join(5.0)
         finally:
             self.close()
+        # The report is always built — even on failure — so the raised
+        # exception carries the partial results on `.report`.
+        report = self._report(aborted=not finished)
         if self.errors and raise_on_failure:
             name, text = self.errors[0]
-            raise SchedulingError(f"worker {name!r} failed: {text}")
-        return self._report(aborted=not finished)
+            error = SchedulingError(f"worker {name!r} failed: {text}")
+            error.report = report
+            raise error
+        return report
 
     def start(self) -> None:
         """Fork source and partition workers without blocking."""
@@ -215,6 +240,13 @@ class ProcessEngine:
                 target=self._pump, name="mp-engine-pump", daemon=True
             )
             self._pump_thread.start()
+            if self.metrics is not None:
+                from repro.obs import PeriodicSampler
+
+                self._obs_sampler = PeriodicSampler(
+                    self._poll_worker_metrics,
+                    interval_s=self.config.observe_sample_interval_s,
+                ).start()
 
     def join(self, timeout: float | None = None) -> bool:
         """Wait until every worker reached a terminal state."""
@@ -245,6 +277,10 @@ class ProcessEngine:
         if self._closed:
             return
         self._closing = True
+        if self._obs_sampler is not None:
+            # No final poll: the exact per-worker snapshots arrive with
+            # each worker's "done" stats.
+            self._obs_sampler.stop(final_sample=False)
         if self.thread_scheduler is not None:
             self.thread_scheduler.stop()
         self._terminate_stragglers()
@@ -314,6 +350,7 @@ class ProcessEngine:
             batch_size=self.config.batch_size,
             permit_conn=permit_child,
             initial_assignment=initial_assignment,
+            observe=self.config.observe,
         )
         process = self._mp.Process(
             target=partition_worker_main,
@@ -351,6 +388,7 @@ class ProcessEngine:
             pace=self.config.pace_sources,
             time_scale=self.config.time_scale,
             batch_size=self.config.batch_size or 1,
+            observe=self.config.observe,
         )
         process = self._mp.Process(
             target=source_worker_main,
@@ -410,11 +448,24 @@ class ProcessEngine:
             elif kind == "done":
                 handle.stats = message[1]
                 self._done_stats.append(message[1])
+                final_metrics = message[1].get("metrics")
+                if final_metrics:
+                    # Exact post-quiescence snapshot; supersedes polls.
+                    self._worker_metrics[handle.name] = final_metrics
                 handle.done.set()
+                if self.tracer is not None:
+                    self.tracer.record("end", handle.name)
+            elif kind == "metrics":
+                if message[1]:
+                    self._worker_metrics[handle.name] = message[1]
             elif kind == "error":
                 handle.error = message[1]
                 handle.done.set()
                 self.errors.append((handle.name, message[1]))
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "crash", handle.name, error=message[1].splitlines()[-1]
+                    )
                 self.abort()
 
     def _check_crash(self, handle: _WorkerHandle) -> None:
@@ -431,7 +482,21 @@ class ProcessEngine:
         text = f"worker process exited with code {exitcode} without reporting"
         handle.error = text
         self.errors.append((handle.name, text))
+        if self.tracer is not None:
+            self.tracer.record("crash", handle.name, exitcode=exitcode)
         self.abort()
+
+    def _poll_worker_metrics(self) -> None:
+        """Sampler tick: ask every live worker for a registry snapshot.
+
+        Replies arrive asynchronously through the pump ("metrics"
+        messages), giving the parent a continuously refreshed aggregated
+        view while the run is in flight.
+        """
+        with self._handles_lock:
+            handles = [h for h in self._handles if not h.terminal]
+        for handle in handles:
+            handle.send(("metrics",))
 
     def _serve_permits(self, handle: _WorkerHandle) -> None:
         """Proxy one worker's permit pipe into the ThreadScheduler."""
@@ -488,6 +553,8 @@ class ProcessEngine:
         """
         with self._handles_lock:
             targets = [h for h in self._handles if not h.terminal]
+        if self.tracer is not None:
+            self.tracer.record("pause", "engine")
         for handle in targets:
             handle.paused.clear()
             handle.pause_payload = None
@@ -525,6 +592,8 @@ class ProcessEngine:
 
     def resume(self) -> None:
         """Resume after :meth:`pause`."""
+        if self.tracer is not None:
+            self.tracer.record("resume", "engine")
         with self._handles_lock:
             for handle in self._handles:
                 handle.send(("resume",))
@@ -579,6 +648,12 @@ class ProcessEngine:
                     "by name across the control plane"
                 )
         with self._reconfig_lock:
+            if self.tracer is not None:
+                self.tracer.record(
+                    "reconfigure",
+                    "engine",
+                    layout=",".join(spec.name for spec in partitions),
+                )
             snapshots = self.pause(collect_state=True)
             states: Dict[str, bytes] = {}
             staging: Dict[str, tuple] = {}
@@ -664,6 +739,17 @@ class ProcessEngine:
         if self.errors:
             name, text = self.errors[0]
             failure = f"worker {name!r} failed: {text}"
+        metrics = None
+        if self.metrics is not None:
+            from repro.obs import merge_snapshots
+
+            # Worker snapshots (exact post-quiescence copies arrive with
+            # the "done" stats, superseding mid-run sampler polls) plus
+            # the parent's own registry, which holds the scheduler-unit
+            # instruments (the ThreadScheduler runs in the parent).
+            snapshots = list(self._worker_metrics.values())
+            snapshots.append(self.metrics.snapshot())
+            metrics = merge_snapshots(snapshots)
         wall_ns = self._wall_ns or (time.monotonic_ns() - self._start_wall_ns)
         return EngineReport(
             mode=self.config.mode,
@@ -674,6 +760,7 @@ class ProcessEngine:
             memory_samples=[],
             aborted=aborted or self._aborted and failure is not None,
             failure=failure,
+            metrics=metrics,
         )
 
 

@@ -157,6 +157,17 @@ class RingQueue(QueueOperator):
             return self._staging_seqs[0]
         return None
 
+    def stats_view(self) -> tuple[int, int, int]:
+        """``(depth, high_water, pushed)`` — CONSUMER SIDE ONLY.
+
+        ``_sync()`` moves ring envelopes into this process's staging
+        deque, so only the queue's owning worker may call this; a
+        producer-side process must read ``total_enqueued`` directly
+        instead (its fork copy counts exactly what it pushed).
+        """
+        self._sync()
+        return (len(self._staging), self.peak_size, self.total_enqueued)
+
     @property
     def closed(self) -> bool:  # type: ignore[override]
         """Consumer view: True once END_OF_STREAM has been popped.

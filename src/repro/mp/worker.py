@@ -61,6 +61,7 @@ class SourceContext:
     pace: bool = False
     time_scale: float = 1.0
     batch_size: int = 1
+    observe: bool = False
 
 
 @dataclass
@@ -77,6 +78,7 @@ class PartitionContext:
     batch_size: Optional[int] = None
     permit_conn: Any = None  # permit pipe child end, when bounded
     initial_assignment: Optional[Assignment] = None
+    observe: bool = False
     # Parent-end pipe objects of *other* workers leak into forked
     # children; the engine nulls what it can before forking, the rest
     # is harmless (children never touch them).
@@ -111,12 +113,24 @@ def partition_worker_main(ctx: PartitionContext) -> None:
 class _WorkerBase:
     """Shared control-plane handling for both worker kinds."""
 
-    def __init__(self, graph: QueryGraph, conn: Any, name: str) -> None:
+    def __init__(
+        self, graph: QueryGraph, conn: Any, name: str, observe: bool = False
+    ) -> None:
         self.graph = graph
         self.conn = conn
         self.name = name
+        #: Per-worker metrics registry when observing; each worker counts
+        #: only what *it* processed, so the parent's merged view sums to
+        #: the run totals (see repro.obs.registry.merge_snapshots).
+        self.metrics = None
+        if observe:
+            from repro.obs import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
         # Single-threaded inside the worker: no dispatcher locking.
-        self.dispatcher = Dispatcher(graph, stats=None, locking=False)
+        self.dispatcher = Dispatcher(
+            graph, stats=None, locking=False, observer=self.metrics
+        )
         self.paused = False
         self.stopping = False
         self.priority = 0.0
@@ -148,6 +162,8 @@ class _WorkerBase:
                 self.priority = float(message[1])
             elif kind == "assign":
                 self.on_assign(message[1])
+            elif kind == "metrics":
+                _send(self.conn, ("metrics", self.metrics_snapshot()))
             elif kind == "stop":
                 self.stopping = True
 
@@ -161,6 +177,21 @@ class _WorkerBase:
     def snapshot(self) -> Optional[dict]:
         return None
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """This worker's registry snapshot (None when not observing).
+
+        Called between grants (the control plane is only drained at
+        batch boundaries), so within this single-threaded worker the
+        snapshot is exact, not torn.
+        """
+        if self.metrics is None:
+            return None
+        self._sync_queue_metrics()
+        return self.metrics.snapshot()
+
+    def _sync_queue_metrics(self) -> None:
+        """Fold queue counters into the registry (kind-specific)."""
+
     def wait_while_paused(self) -> None:
         while self.paused and not self.stopping:
             self.handle_control(_POLL_SECONDS * 5)
@@ -168,7 +199,7 @@ class _WorkerBase:
 
 class _SourceWorker(_WorkerBase):
     def __init__(self, ctx: SourceContext) -> None:
-        super().__init__(ctx.graph, ctx.conn, ctx.name)
+        super().__init__(ctx.graph, ctx.conn, ctx.name, observe=ctx.observe)
         self.ctx = ctx
         self.node = ctx.node
         members, boundary = di_region(self.graph, self.node)
@@ -232,6 +263,17 @@ class _SourceWorker(_WorkerBase):
                 for consumer, port in out:
                     self.dispatcher.inject(consumer, element, port)
 
+    def _sync_queue_metrics(self) -> None:
+        # Producer side only: NEVER call len()/stats_view() on a
+        # boundary ring from here — the consumer-side _sync() would
+        # steal envelopes that belong to the owning partition.  The
+        # producer's contribution is the monotone pushed counter.
+        assert self.metrics is not None
+        for ring_queue in self._boundary_rings:
+            self.metrics.queue(ring_queue.name).sync(
+                0, 0, ring_queue.total_enqueued
+            )
+
     def _stats(self) -> Dict[str, Any]:
         return {
             "worker": self.name,
@@ -243,12 +285,13 @@ class _SourceWorker(_WorkerBase):
             "queue_peaks": {},
             "ends_seen": {},
             "aborted": self.stopping,
+            "metrics": self.metrics_snapshot(),
         }
 
 
 class _PartitionWorker(_WorkerBase):
     def __init__(self, ctx: PartitionContext) -> None:
-        super().__init__(ctx.graph, ctx.conn, ctx.name)
+        super().__init__(ctx.graph, ctx.conn, ctx.name, observe=ctx.observe)
         self.ctx = ctx
         self.queue_nodes: List[Node] = list(ctx.queue_nodes)
         self.strategy = ctx.strategy
@@ -343,6 +386,9 @@ class _PartitionWorker(_WorkerBase):
     # -- main loop -------------------------------------------------------
     def run(self) -> None:
         _send(self.conn, ("ready",))
+        partition_metrics = (
+            self.metrics.partition(self.name) if self.metrics is not None else None
+        )
         idle = 0.0
         while True:
             self.handle_control(idle)
@@ -368,9 +414,18 @@ class _PartitionWorker(_WorkerBase):
             if self.permit is not None and not self._acquire_permit():
                 continue
             try:
-                self.dispatcher.run_queue(
-                    target, self.ctx.batch_limit, self.ctx.batch_size
-                )
+                if partition_metrics is None:
+                    self.dispatcher.run_queue(
+                        target, self.ctx.batch_limit, self.ctx.batch_size
+                    )
+                else:
+                    started_ns = time.perf_counter_ns()
+                    processed = self.dispatcher.run_queue(
+                        target, self.ctx.batch_limit, self.ctx.batch_size
+                    )
+                    partition_metrics.observe_grant(
+                        processed, time.perf_counter_ns() - started_ns
+                    )
             finally:
                 if self.permit is not None:
                     _send(self.permit, "rel")
@@ -387,6 +442,26 @@ class _PartitionWorker(_WorkerBase):
             return False
         return reply == "ok"
 
+    def _sync_queue_metrics(self) -> None:
+        assert self.metrics is not None
+        # Owned queues: this worker is their consumer, so the full
+        # stats_view (depth/high-water/pushed) is safe to read.
+        owned = set()
+        for queue_node in self.queue_nodes:
+            ring_queue = queue_node.payload
+            assert isinstance(ring_queue, RingQueue)
+            owned.add(ring_queue)
+            depth, high_water, pushed = ring_queue.stats_view()
+            self.metrics.queue(queue_node.name).sync(depth, high_water, pushed)
+        # Downstream boundary rings this worker produces into but does
+        # not own: contribute only the producer-side pushed counter —
+        # touching the consumer side here would steal envelopes.
+        for ring_queue in self._boundary_rings:
+            if ring_queue not in owned:
+                self.metrics.queue(ring_queue.name).sync(
+                    0, 0, ring_queue.total_enqueued
+                )
+
     def _stats(self) -> Dict[str, Any]:
         return {
             "worker": self.name,
@@ -398,5 +473,6 @@ class _PartitionWorker(_WorkerBase):
             "queue_peaks": dict(self._peak_acc),
             "ends_seen": dict(self._ends_acc),
             "aborted": self.stopping,
+            "metrics": self.metrics_snapshot(),
         }
 

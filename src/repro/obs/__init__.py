@@ -1,0 +1,39 @@
+"""Runtime observability: metrics registry, event tracer, exposition.
+
+Imported lazily by the engines only when ``EngineConfig.observe`` is
+enabled, so an observe-off run never pays for (or even imports) this
+package.
+"""
+
+from repro.obs.exposition import metrics_to_json, metrics_to_prometheus
+from repro.obs.registry import (
+    Counter,
+    Ewma,
+    Gauge,
+    MetricsRegistry,
+    OperatorMetrics,
+    PartitionMetrics,
+    QueueMetrics,
+    SchedulerUnitMetrics,
+    merge_snapshots,
+)
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.tracer import TRACE_KINDS, EventTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Ewma",
+    "OperatorMetrics",
+    "QueueMetrics",
+    "PartitionMetrics",
+    "SchedulerUnitMetrics",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "EventTracer",
+    "TraceEvent",
+    "TRACE_KINDS",
+    "PeriodicSampler",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+]

@@ -1,0 +1,74 @@
+"""Exposition formats for metrics snapshots.
+
+Two views over the same :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+dict:
+
+* :func:`metrics_to_json` — the structured document stored in
+  ``EngineReport.metrics`` and uploaded as a CI artifact;
+* :func:`metrics_to_prometheus` — Prometheus-style text exposition
+  (``# TYPE`` comments plus one ``repro_<section>_<field>{label}``
+  sample per instrument field), scrape-able from a file or endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["metrics_to_json", "metrics_to_prometheus"]
+
+#: (section, label name, field, metric type) exposition schema.
+_PROM_SCHEMA = (
+    ("operators", "operator", "elements_in", "counter"),
+    ("operators", "operator", "elements_out", "counter"),
+    ("operators", "operator", "invocations", "counter"),
+    ("operators", "operator", "service_ns_total", "counter"),
+    ("operators", "operator", "service_ns_ewma", "gauge"),
+    ("operators", "operator", "batch_size_ewma", "gauge"),
+    ("operators", "operator", "selectivity", "gauge"),
+    ("operators", "operator", "interarrival_ns", "gauge"),
+    ("queues", "queue", "pushed", "counter"),
+    ("queues", "queue", "depth", "gauge"),
+    ("queues", "queue", "high_water", "gauge"),
+    ("partitions", "partition", "grants", "counter"),
+    ("partitions", "partition", "elements", "counter"),
+    ("partitions", "partition", "service_ns_total", "counter"),
+    ("partitions", "partition", "batch_size_ewma", "gauge"),
+    ("scheduler", "unit", "grants", "counter"),
+    ("scheduler", "unit", "wait_ns_total", "counter"),
+    ("scheduler", "unit", "run_ns_total", "counter"),
+    ("scheduler", "unit", "boosts", "counter"),
+    ("scheduler", "unit", "preemptions", "counter"),
+)
+
+
+def metrics_to_json(snapshot: dict, indent: Optional[int] = 2) -> str:
+    """Serialize a metrics snapshot as a JSON document."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def metrics_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counter samples get a ``_total`` suffix per convention; fields whose
+    value is None (e.g. an EWMA before any observation) are omitted.
+    """
+    lines: list[str] = []
+    for section, label, metric_field, kind in _PROM_SCHEMA:
+        entries = snapshot.get(section, {})
+        suffix = "_total" if kind == "counter" else ""
+        metric = f"{prefix}_{label}_{metric_field}{suffix}"
+        emitted_type = False
+        for name in sorted(entries):
+            value = entries[name].get(metric_field)
+            if value is None:
+                continue
+            if not emitted_type:
+                lines.append(f"# TYPE {metric} {kind}")
+                emitted_type = True
+            lines.append(f'{metric}{{{label}="{_escape_label(name)}"}} {value}')
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,127 @@
+"""Bounded ring-buffer event tracer for engine control-plane events.
+
+The tracer records *scheduling* events — grants, cooperative
+preemptions, starvation-prevention boosts, pause/resume, runtime
+reconfiguration, END_OF_STREAM propagation, worker crashes — not
+per-element dataflow, so recording stays off the hot path entirely.
+The buffer is a fixed-capacity ring: once full, the oldest events are
+overwritten and counted in :attr:`EventTracer.dropped`, so a tracer can
+run unattended for the whole life of a long query with bounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["TraceEvent", "EventTracer", "TRACE_KINDS"]
+
+#: The event vocabulary.  ``schedule`` = a level-3 grant; ``preempt`` =
+#: a unit yielded its permit to a higher-effective-priority waiter at a
+#: batch boundary; ``boost`` = aging let a unit overtake a higher base
+#: priority (starvation prevention fired); ``reconfigure`` = a runtime
+#: partition-layout switch; ``end`` = END_OF_STREAM left a source or
+#: reached a sink; ``crash`` = a worker thread/process failed.
+TRACE_KINDS = (
+    "schedule",
+    "preempt",
+    "boost",
+    "pause",
+    "resume",
+    "reconfigure",
+    "end",
+    "crash",
+)
+
+_KIND_SET = frozenset(TRACE_KINDS)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded engine event."""
+
+    ts_ns: int
+    kind: str
+    subject: str
+    detail: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def format(self, origin_ns: Optional[int] = None) -> str:
+        """Human-readable one-liner (relative ms when ``origin_ns`` given)."""
+        if origin_ns is None:
+            stamp = f"{self.ts_ns}"
+        else:
+            stamp = f"+{(self.ts_ns - origin_ns) / 1e6:10.3f}ms"
+        extras = " ".join(f"{key}={value}" for key, value in self.detail)
+        text = f"{stamp}  {self.kind:<11s} {self.subject}"
+        return f"{text}  {extras}" if extras else text
+
+
+class EventTracer:
+    """Fixed-capacity event ring buffer.
+
+    Args:
+        capacity: Maximum retained events; older events are overwritten
+            (and counted in :attr:`dropped`) once the ring is full.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._next = 0  # total events ever recorded
+        self._lock = threading.Lock()
+        self.origin_ns = time.monotonic_ns()
+
+    def record(self, kind: str, subject: str = "", **detail: object) -> None:
+        """Append one event (thread-safe; overwrites the oldest when full).
+
+        Raises:
+            ValueError: on a ``kind`` outside :data:`TRACE_KINDS` —
+                the vocabulary is closed so trace consumers can switch
+                on it exhaustively.
+        """
+        if kind not in _KIND_SET:
+            raise ValueError(
+                f"unknown trace kind {kind!r}; expected one of {TRACE_KINDS}"
+            )
+        event = TraceEvent(
+            ts_ns=time.monotonic_ns(),
+            kind=kind,
+            subject=subject,
+            detail=tuple(detail.items()),
+        )
+        with self._lock:
+            self._ring[self._next % self.capacity] = event
+            self._next += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including overwritten ones)."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        return max(0, self._next - self.capacity)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first (handles wraparound)."""
+        with self._lock:
+            total = self._next
+            if total <= self.capacity:
+                return [e for e in self._ring[:total] if e is not None]
+            start = total % self.capacity
+            ordered = self._ring[start:] + self._ring[:start]
+            return [e for e in ordered if e is not None]
+
+    def dump(self) -> str:
+        """The retained trace as formatted text (the ``--trace`` output)."""
+        lines = [event.format(self.origin_ns) for event in self.events()]
+        header = (
+            f"# trace: {len(lines)} event(s) retained, "
+            f"{self.dropped} dropped (capacity {self.capacity})"
+        )
+        return "\n".join([header, *lines])

@@ -178,6 +178,20 @@ class QueueOperator(Operator):
         """Dequeue up to ``limit`` items (all if None) without blocking."""
         return self.pop_many(limit)
 
+    def stats_view(self) -> tuple[int, int, int]:
+        """``(depth, high_water, total_pushed)`` in one lock round.
+
+        The observability sampler reads all three queue instruments
+        through this instead of three separate synchronized accesses;
+        on the SPSC path the reads are unsynchronized by contract
+        (producer-written counters, torn reads are a stale sample, not
+        corruption).
+        """
+        if self._spsc:
+            return (len(self._items), self.peak_size, self.total_enqueued)
+        with self._condition:
+            return (len(self._items), self.peak_size, self.total_enqueued)
+
     def __len__(self) -> int:
         if self._spsc:
             return len(self._items)

@@ -98,8 +98,57 @@ class StatisticsRegistry:
                 continue
             if stats.cost_ns is not None:
                 node.cost_ns = stats.cost_ns
-            if stats.interarrival_ns is not None:
+            # A non-positive gap means "no usable arrival spread" (e.g.
+            # ingested metrics with a degenerate timestamp span), not an
+            # infinite input rate — keep the declared value then.
+            if stats.interarrival_ns is not None and stats.interarrival_ns > 0:
                 node.interarrival_ns = stats.interarrival_ns
+
+    def ingest_metrics(self, graph: QueryGraph, metrics: dict) -> None:
+        """Seed the registry from an ``EngineReport.metrics`` snapshot.
+
+        Bridges the runtime observability layer (:mod:`repro.obs`) to
+        the placement pipeline: the ``"operators"`` section carries
+        measured per-element service time and mean interarrival gap per
+        operator, which this method replays into each node's
+        :class:`OperatorStatistics` as synthetic :meth:`observe` calls
+        at the measured means — enough of them (capped at 8; EWMA of a
+        constant converges immediately in value) that
+        :meth:`annotate`'s ``min_elements`` gate opens.  Afterwards
+        ``annotate(graph)`` writes metrics-derived ``c(v)`` / ``d(v)``
+        into the node annotations exactly as an in-process measurement
+        pass would — including for process-backend runs, which the
+        in-process :meth:`observe` path cannot cover.
+
+        Operators in the snapshot that are not in ``graph`` (e.g. after
+        a reconfigure renamed things) are skipped silently.
+        """
+        operators = (metrics or {}).get("operators", {})
+        if not operators:
+            return
+        by_name = {
+            node.name: node
+            for node in graph.operators(include_queues=False)
+        }
+        for name, op in operators.items():
+            node = by_name.get(name)
+            if node is None:
+                continue
+            elements = op.get("elements_in") or 0
+            if elements < 2:
+                continue
+            total = op.get("service_ns_total") or 0
+            cost_ns = total / elements
+            gap_ns = op.get("interarrival_ns")
+            if gap_ns is None or gap_ns <= 0:
+                # Degenerate span (all-equal timestamps); arrival gap
+                # stays unknown but the cost estimate is still usable.
+                gap_ns = 0.0
+            stats = self.for_node(node)
+            arrival = 0
+            for _ in range(min(elements, 8)):
+                stats.observe(arrival, cost_ns)
+                arrival += int(gap_ns)
 
     def __iter__(self) -> Iterator[tuple[Node, OperatorStatistics]]:
         return iter(self._stats.items())

@@ -13,6 +13,7 @@ from multiprocessing import shared_memory
 
 import pytest
 
+from repro.api import Engine
 from repro.core.engine import ThreadedEngine, make_engine, spsc_eligible_queues
 from repro.core.modes import (
     EngineConfig,
@@ -91,7 +92,7 @@ class GatedSource(Source):
 class TestProcessMatchesThread:
     def test_gts_identical_sink_output(self):
         graph, sink = build_pipeline()
-        report = make_engine(graph, gts_config(graph, "fifo", backend="process")).run(
+        report = Engine.from_graph(graph, config=gts_config(graph, "fifo", backend="process")).run(
             timeout=60
         )
         assert not report.aborted and report.failure is None
@@ -104,7 +105,7 @@ class TestProcessMatchesThread:
     def test_ots_with_permit_gate(self):
         graph, sink = build_pipeline()
         config = ots_config(graph, backend="process", max_concurrency=1)
-        report = make_engine(graph, config).run(timeout=60)
+        report = Engine.from_graph(graph, config=config).run(timeout=60)
         assert not report.aborted and report.failure is None
         assert sink.values == EXPECTED
         assert report.sink_counts == {"collecting-sink": len(EXPECTED)}
@@ -112,7 +113,7 @@ class TestProcessMatchesThread:
 
     def test_report_queue_peaks_cover_all_queues(self):
         graph, sink = build_pipeline(500)
-        report = make_engine(graph, gts_config(graph, backend="process")).run(
+        report = Engine.from_graph(graph, config=gts_config(graph, backend="process")).run(
             timeout=60
         )
         assert set(report.queue_peaks) == {"q0", "q1", "q2"}
@@ -140,8 +141,8 @@ class TestControlPlane:
             backend="process",
             max_concurrency=1,
         )
-        engine = make_engine(graph, config)
-        assert isinstance(engine, ProcessEngine)
+        engine = Engine.from_graph(graph, config=config)
+        assert isinstance(engine.inner, ProcessEngine)
         engine.start()
         try:
             # Mid-run (source is gated): flip the level-3 priorities.
@@ -272,17 +273,20 @@ class TestCrashDetection:
 
 
 class TestValidation:
-    def test_make_engine_selects_backend(self):
+    def test_make_engine_selects_backend_and_deprecates(self):
         graph, _ = build_pipeline(10)
         config = gts_config(graph, backend="process")
-        assert isinstance(make_engine(graph, config), ProcessEngine)
+        with pytest.warns(DeprecationWarning, match="open_engine"):
+            assert isinstance(make_engine(graph, config), ProcessEngine)
 
     def test_stats_registry_unsupported(self):
         from repro.stats.estimators import StatisticsRegistry
 
         graph, _ = build_pipeline(10)
         config = gts_config(graph, backend="process")
-        with pytest.raises(SchedulingError, match="statistics"):
+        with pytest.raises(SchedulingError, match="statistics"), pytest.warns(
+            DeprecationWarning
+        ):
             make_engine(graph, config, stats=StatisticsRegistry())
 
     def test_region_disjointness_rejects_split_join(self):
